@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at a
+laptop-friendly scale and prints the resulting rows/series, so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+artifacts.  Set ``TYCOS_BENCH_SCALE=full`` for sizes closer to the paper.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    return os.environ.get("TYCOS_BENCH_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """'quick' (default) or 'full' (closer to paper sizes)."""
+    return bench_scale()

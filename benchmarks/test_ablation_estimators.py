@@ -1,0 +1,44 @@
+"""Ablation: KSG vs histogram vs KDE mutual information estimators.
+
+Reproduces the Section-3.1 justification for choosing KSG (per Papana &
+Kugiumtzis): at a fixed sample size, KSG has the smallest error against
+the closed-form Gaussian MI, and it does so at a runtime far below the
+O(m^2)-with-big-constants KDE.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mi.histogram import histogram_mi
+from repro.mi.kde import kde_mi
+from repro.mi.ksg import ksg_mi
+
+_TRUTH = -0.5 * np.log(1 - 0.64)  # rho = 0.8 bivariate Gaussian
+_ESTIMATORS = {"ksg": ksg_mi, "histogram": histogram_mi, "kde": kde_mi}
+
+
+def _sample(seed, m=400):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=m)
+    y = 0.8 * x + 0.6 * rng.normal(size=m)
+    return x, y
+
+
+@pytest.mark.parametrize("name", sorted(_ESTIMATORS))
+def test_estimator_accuracy_and_runtime(benchmark, name):
+    estimator = _ESTIMATORS[name]
+
+    def run():
+        errors = []
+        for seed in range(6):
+            x, y = _sample(seed)
+            errors.append(abs(estimator(x, y) - _TRUTH))
+        return float(np.mean(errors))
+
+    mean_error = benchmark.pedantic(run, iterations=1, rounds=3)
+    print(f"\n{name}: mean |error| vs Gaussian truth = {mean_error:.4f}")
+    # Sanity floor: every estimator is in the right ballpark ...
+    assert mean_error < 0.30
+    # ... and KSG meets the paper's accuracy claim outright.
+    if name == "ksg":
+        assert mean_error < 0.08

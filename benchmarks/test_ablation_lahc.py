@@ -1,0 +1,42 @@
+"""Ablation: LAHC history length and idle budget.
+
+DESIGN.md lists L_h and T_maxIdle as tunables; this bench sweeps both on
+one dataset and reports runtime and output size, verifying the search
+stays functional across the grid (the paper gives no values, so the
+defaults are justified empirically).
+"""
+
+import pytest
+
+from repro.core.config import TycosConfig
+from repro.core.tycos import tycos_lmn
+from repro.experiments.datasets import dataset_pair
+
+
+@pytest.mark.parametrize("history_length", [1, 5, 20])
+@pytest.mark.parametrize("max_idle", [2, 5])
+def test_lahc_knobs(benchmark, history_length, max_idle):
+    x, y = dataset_pair("synthetic1", 500, seed=0)
+    # td_max covers the dataset's planted delay (25).
+    config = TycosConfig(
+        sigma=0.4,
+        s_min=16,
+        s_max=96,
+        td_max=30,
+        history_length=history_length,
+        max_idle=max_idle,
+        init_delay_step=1,
+        seed=0,
+    )
+
+    result = benchmark.pedantic(
+        lambda: tycos_lmn(config).search(x, y), iterations=1, rounds=1
+    )
+    # The planted relations must be found under every knob setting.
+    assert len(result.windows) > 0
+    print(
+        f"\nL_h={history_length} T_maxIdle={max_idle}: "
+        f"{len(result.windows)} windows, "
+        f"{result.stats.windows_evaluated} evals, "
+        f"{result.stats.runtime_seconds:.2f}s"
+    )

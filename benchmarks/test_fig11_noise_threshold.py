@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig. 11 (noise threshold sweep: error & runtime gain)."""
+
+import numpy as np
+
+from repro.experiments.fig11 import run_fig11
+
+
+def test_fig11_noise_threshold_sweep(benchmark, scale):
+    n = 700 if scale == "full" else 450
+    ratios = (0.05, 0.15, 0.25, 0.4, 0.6, 0.8)
+    result = benchmark.pedantic(
+        run_fig11,
+        kwargs=dict(ratios=ratios, n=n, datasets=("synthetic1", "smartcity"), seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.to_text())
+
+    for ds in ("synthetic1", "smartcity"):
+        errors = result.error_rate[ds]
+        gains = result.runtime_gain[ds]
+        # Larger epsilon/sigma prunes more: the runtime gain trends up
+        # (compare the aggressive half against the conservative half).
+        assert np.mean(gains[3:]) >= np.mean(gains[:3]) - 0.1, (ds, gains)
+        # ... and cannot *reduce* the error (weak monotonicity on average).
+        assert np.mean(errors[3:]) >= np.mean(errors[:3]) - 0.05, (ds, errors)
+        # At the paper's operating point (0.25) the error stays moderate.
+        assert errors[2] <= 0.5, (ds, errors)

@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 12 (accuracy vs runtime-gain trade-off)."""
+
+from repro.experiments.fig12 import run_fig12
+
+
+def test_fig12_tradeoff(benchmark, scale):
+    n = 700 if scale == "full" else 450
+    result = benchmark.pedantic(
+        run_fig12,
+        kwargs=dict(
+            ratios=(0.05, 0.15, 0.25, 0.4, 0.6, 0.8),
+            n=n,
+            datasets=("energy", "smartcity"),
+            seed=0,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.to_text())
+
+    for ds in ("energy", "smartcity"):
+        acc = result.accuracy(ds)
+        gain = result.runtime_gain(ds)
+        # The paper's justification for epsilon = sigma/4: at ratio 0.25
+        # accuracy remains high while a material share of runtime is saved.
+        operating = result.ratios.index(0.25)
+        assert acc[operating] >= 0.5, (ds, acc)
+        assert gain[operating] >= 0.1, (ds, gain)
+        # The extreme ratio trades accuracy for speed relative to the
+        # conservative end.
+        assert gain[-1] >= gain[0] - 0.1, (ds, gain)

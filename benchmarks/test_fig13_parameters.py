@@ -1,0 +1,52 @@
+"""Bench: regenerate Fig. 13 (effect of sigma, s_max and td_max)."""
+
+from repro.experiments.fig13 import run_fig13_sigma, run_fig13_smax, run_fig13_tdmax
+
+
+def test_fig13a_sigma(benchmark, scale):
+    n = 900 if scale == "full" else 600
+    result = benchmark.pedantic(
+        run_fig13_sigma,
+        kwargs=dict(sigmas=(0.2, 0.3, 0.4, 0.5, 0.6), n=n, seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.to_text())
+    counts = result.window_counts()
+    # Fewer (stronger) windows as sigma rises; weak monotone overall.
+    assert counts[-1] <= counts[0]
+    assert counts == sorted(counts, reverse=True) or counts[-1] < counts[0]
+
+
+def test_fig13b_smax_convergence(benchmark, scale):
+    n = 900 if scale == "full" else 600
+    result = benchmark.pedantic(
+        run_fig13_smax,
+        kwargs=dict(s_maxes=(32, 64, 96, 128, 192), n=n, seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.to_text())
+    counts = result.window_counts()
+    # Convergence: once every correlation fits, the output stabilizes.
+    assert abs(counts[-1] - counts[-2]) <= max(2, counts[-2] // 3), counts
+
+
+def test_fig13c_tdmax_convergence(benchmark, scale):
+    n = 900 if scale == "full" else 600
+    result = benchmark.pedantic(
+        run_fig13_tdmax,
+        kwargs=dict(td_maxes=(6, 12, 24, 36, 48), n=n, seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.to_text())
+    counts = result.window_counts()
+    runtimes = result.runtimes()
+    assert abs(counts[-1] - counts[-2]) <= max(2, counts[-2] // 3), counts
+    # Runtime flattens past the largest true lag (paper Fig. 13c): the last
+    # doubling of td_max must not double the runtime.
+    assert runtimes[-1] <= 2.5 * runtimes[-2], runtimes

@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig. 9 (runtime of the four TYCOS variants).
+
+Prints per-dataset runtimes and asserts the paper's ordering: the noise
+theory accelerates the search everywhere, and the fully optimized
+TYCOS_LMN clearly beats plain TYCOS_L.
+"""
+
+import numpy as np
+
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_variant_runtimes(benchmark, scale):
+    n = 1400 if scale == "full" else 800
+    datasets = (
+        ("synthetic1", "synthetic2", "synthetic3", "energy", "smartcity")
+        if scale == "full"
+        else ("synthetic1", "energy", "smartcity")
+    )
+    result = benchmark.pedantic(
+        run_fig9, kwargs=dict(n=n, seed=0, datasets=datasets), iterations=1, rounds=1
+    )
+    print()
+    print(result.to_text())
+
+    speedups = []
+    for ds in datasets:
+        times = result.runtimes[ds]
+        # Noise pruning speeds up the plain search on every dataset.
+        assert times["TYCOS_LN"] < times["TYCOS_L"], ds
+        # ... and the evaluation counts tell the same story as wall clock.
+        assert result.evaluations[ds]["TYCOS_LN"] < result.evaluations[ds]["TYCOS_L"]
+        speedups.append(result.speedup(ds, "TYCOS_LMN"))
+    # The fully optimized variant beats the plain one clearly overall
+    # (geometric mean across datasets -- single-dataset wall clocks are
+    # noisy at quick scale).
+    geo_mean = float(np.exp(np.mean(np.log(speedups))))
+    assert geo_mean > 1.5, (speedups, geo_mean)

@@ -1,0 +1,45 @@
+"""Bench: TYCOS_LMN scalability in data size.
+
+The paper's abstract claims TYCOS "can scale to large datasets"; the exact
+baselines cannot accompany it to large n (that is the point of Fig 10), so
+this bench tracks TYCOS_LMN alone over a growing series and asserts the
+growth is tame: the per-sample cost must not blow up with n (the search is
+a chain of restarts with bounded local work, so runtime should grow close
+to linearly in n).
+"""
+
+import numpy as np
+
+from repro.core.config import TycosConfig
+from repro.core.tycos import tycos_lmn
+from repro.experiments.datasets import dataset_pair
+
+
+def test_tycos_scalability(benchmark, scale):
+    sizes = (1000, 2000, 4000) if scale == "full" else (600, 1200, 2400)
+
+    def run():
+        times = []
+        for n in sizes:
+            x, y = dataset_pair("synthetic1", n, seed=0)
+            config = TycosConfig(
+                sigma=0.45,
+                s_min=24,
+                s_max=120,
+                td_max=20,
+                init_delay_step=2,
+                significance_permutations=0,
+                seed=0,
+            )
+            result = tycos_lmn(config).search(x, y)
+            times.append(result.stats.runtime_seconds)
+        return times
+
+    times = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    for n, t in zip(sizes, times):
+        print(f"  n={n}: {t:.2f}s ({1000 * t / n:.2f} ms/sample)")
+    # Per-sample cost must stay within a small factor across a 4x size
+    # growth (linear-ish scaling, paper's "scales to large datasets").
+    per_sample = [t / n for t, n in zip(times, sizes)]
+    assert per_sample[-1] <= 3.0 * per_sample[0], per_sample

@@ -1,0 +1,57 @@
+"""Bench: regenerate Table 1 (relation types identified per method).
+
+Prints the full detection matrix and asserts the paper's structural
+claims: TYCOS detects everything at both delays; AMIC detects everything
+at delay 0 and nothing at the large delay; PCC/MASS detect nothing
+delayed; MatrixProfile's delayed detections are confined to affine shapes.
+"""
+
+from repro.data.relations import RELATIONS, relation_names
+from repro.experiments.table1 import run_table1
+
+
+def _delays(scale):
+    return (0, 150) if scale == "full" else (0, 60)
+
+
+def _segment(scale):
+    return 150 if scale == "full" else 100
+
+
+def test_table1_matrix(benchmark, scale):
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs=dict(delays=_delays(scale), segment_length=_segment(scale), seed=0),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.to_text())
+
+    delay0, delay_big = result.delays
+
+    dependents = [r for r in relation_names() if RELATIONS[r].dependent]
+    # TYCOS: every relation, both delays.
+    for relation in dependents:
+        assert result.detected("TYCOS", relation, delay0), f"TYCOS missed {relation} @0"
+        assert result.detected("TYCOS", relation, delay_big), f"TYCOS missed {relation} delayed"
+    # Correct silence on the independent placebo.
+    assert result.detected("TYCOS", "independent", delay0)
+    assert result.detected("TYCOS", "independent", delay_big)
+
+    # AMIC: everything at delay 0, nothing delayed.
+    for relation in dependents:
+        assert result.detected("AMIC", relation, delay0), f"AMIC missed {relation} @0"
+        assert not result.detected("AMIC", relation, delay_big), f"AMIC false hit {relation}"
+
+    # PCC and MASS: nothing delayed, and blind to the non-functional circle.
+    for method in ("PCC", "MASS"):
+        assert not result.detected(method, "circle", delay0)
+        for relation in dependents:
+            assert not result.detected(method, relation, delay_big), (method, relation)
+
+    # MatrixProfile: detects the delayed linear relation, misses the
+    # delayed non-linear ones (quadratic, circle, sine, cross, quartic).
+    assert result.detected("MatrixProfile", "linear", delay_big)
+    for relation in ("quadratic", "circle", "sine", "cross", "quartic"):
+        assert not result.detected("MatrixProfile", relation, delay_big), relation

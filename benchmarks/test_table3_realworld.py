@@ -1,0 +1,41 @@
+"""Bench: regenerate Table 3 (correlations extracted from real-world sims).
+
+Prints, per coupling, the window counts and delay ranges of TYCOS vs
+AMIC, and asserts the paper's shape: TYCOS extracts delayed windows for
+every coupling; AMIC misses the purely delayed ones.
+"""
+
+from repro.experiments.table3 import run_table3
+
+
+def test_table3_extracted_correlations(benchmark, scale):
+    target = 1500 if scale == "full" else 800
+    result = benchmark.pedantic(
+        run_table3, kwargs=dict(target_samples=target, seed=0), iterations=1, rounds=1
+    )
+    print()
+    print(result.to_text())
+
+    # TYCOS extracts windows for every coupling.
+    for row in result.rows:
+        assert row.tycos_count > 0, row.label
+
+    # The observed delay range must reach into the planted lag band for
+    # the strongly-identifiable couplings.  (C2's microwave channel is
+    # driven by two planted causes -- kitchen sessions and the morning
+    # light chain -- so its per-window delays are multi-modal and the range
+    # check is not robust at reduced scale.)
+    for label in ("C1", "C3", "C7"):
+        row = result.row(label)
+        lo, hi = row.tycos_delay_minutes
+        assert hi >= row.lag_minutes[0], (label, row.tycos_delay_minutes, row.lag_minutes)
+
+    # AMIC misses the purely delayed couplings (source pulse ends before
+    # the target's starts): C3 (washer->dryer) and C6 (children->living).
+    assert result.row("C3").amic_count == 0
+    assert result.row("C6").amic_count == 0
+    # And in aggregate TYCOS extracts far more than AMIC, which only ever
+    # sees the zero-delay overlaps.
+    tycos_total = sum(r.tycos_count for r in result.rows)
+    amic_total = sum(r.amic_count for r in result.rows)
+    assert tycos_total > 2 * amic_total

@@ -1,0 +1,59 @@
+"""File-based workflow: from a CSV on disk to correlated windows.
+
+Writes a small CSV (two coupled columns plus noise), then uses the same
+code path as the ``tycos-search`` command-line tool to load and search it.
+This is the shortest route from "I have sensor exports" to "these columns
+correlate at this lag".
+
+Run with::
+
+    python examples/csv_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Tycos, TycosConfig
+from repro.analysis import read_csv_series
+
+# ----------------------------------------------------------------------
+# 1. Fabricate a sensor export: temperature drives consumption 4 steps
+#    later through a saturating (non-linear) response.
+rng = np.random.default_rng(0)
+n = 500
+temperature = rng.uniform(10, 30, n)
+consumption = rng.uniform(0, 1, n)
+event = rng.uniform(10, 30, 140)
+temperature[200:340] = event
+consumption[204:344] = np.tanh((event - 20.0) / 4.0) + 0.02 * rng.normal(size=140)
+
+csv_path = Path(tempfile.mkdtemp()) / "sensors.csv"
+with csv_path.open("w") as handle:
+    handle.write("temperature,consumption,humidity\n")
+    humidity = rng.uniform(30, 70, n)
+    for row in zip(temperature, consumption, humidity):
+        handle.write(",".join(f"{v:.4f}" for v in row) + "\n")
+print(f"wrote {csv_path}")
+
+# ----------------------------------------------------------------------
+# 2. Load and search -- identical to:
+#    tycos-search sensors.csv --x temperature --y consumption ...
+series = read_csv_series(csv_path, columns=["temperature", "consumption"])
+config = TycosConfig(
+    sigma=0.4,
+    s_min=20,
+    s_max=200,
+    td_max=8,
+    init_delay_step=1,
+    significance_permutations=15,
+    seed=0,
+)
+result = Tycos(config).search(series["temperature"], series["consumption"])
+
+print(f"\n{len(result.windows)} correlated windows "
+      f"(ground truth: [200, 343] at delay +4):")
+for r in result.windows:
+    w = r.window
+    print(f"  [{w.start:3d}, {w.end:3d}]  delay {w.delay:+d}  nmi {r.nmi:.2f}")

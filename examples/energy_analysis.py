@@ -1,0 +1,60 @@
+"""Energy-domain example: device-to-device lagged correlations.
+
+Simulates a week of residential plug loads (the stand-in for the NIST
+Net-Zero dataset the paper uses) and searches three device pairs for time
+delay correlations, reproducing the style of the paper's Table-3 energy
+findings (C1-C6): kitchen activity precedes the dish washer by hours, the
+clothes washer precedes the dryer by tens of minutes, and so on.
+
+Run with::
+
+    python examples/energy_analysis.py
+"""
+
+import numpy as np
+
+from repro import Tycos, TycosConfig
+from repro.data.energy import EXPECTED_COUPLINGS, simulate_energy
+
+PAIRS = [
+    ("clothes_washer", "dryer", 4),        # lag 10-30 min
+    ("kitchen", "dish_washer", 8),         # lag 0-4 h
+    ("bathroom_light", "kitchen_light", 1),  # lag 1-5 min
+]
+
+for source, target, resolution in PAIRS:
+    days = max(1, int(np.ceil(900 * resolution / (24 * 60))))
+    data = simulate_energy(
+        days=days, seed=0, minutes_per_sample=resolution, event_density=2.0
+    )
+    x, y = data.pair(source, target)
+
+    coupling = next(c for c in EXPECTED_COUPLINGS if (c.source, c.target) == (source, target))
+    lag_hi = max(1, int(np.ceil(coupling.lag_minutes[1] / resolution)))
+
+    config = TycosConfig(
+        sigma=0.25,
+        s_min=24,
+        s_max=min(240, data.n // 2),
+        td_max=lag_hi + 6,
+        jitter=1e-3,                  # de-tie the near-zero standby readings
+        significance_permutations=10,
+        seed=0,
+    )
+    result = Tycos(config).search(x, y)
+
+    print(f"=== {source} -> {target} "
+          f"(planted lag {coupling.lag_minutes[0]}-{coupling.lag_minutes[1]} min, "
+          f"{resolution}-min resolution, {data.n} samples)")
+    if not result.windows:
+        print("  no correlated windows found")
+    for r in result.windows:
+        w = r.window
+        print(f"  window [{w.start:5d}, {w.end:5d}]  "
+              f"delay {w.delay * resolution:+5d} min  nmi {r.nmi:.2f}")
+    delays = result.delay_range()
+    if delays:
+        print(f"  -> observed delay range: "
+              f"[{delays[0] * resolution}, {delays[1] * resolution}] min\n")
+    else:
+        print()

@@ -1,0 +1,48 @@
+"""MI landscape: what the search climbs (paper Figs. 4 and 6).
+
+Computes the normalized MI of a sliding window across a composed pair and
+prints an ASCII profile: the peaks are exactly the planted relations the
+hill climbing converges to (Fig. 4).  A second pass shows the Fig.-6
+effect behind the noise theory: dropping a noise prefix from a window
+*raises* its MI.
+
+Run with::
+
+    python examples/mi_landscape.py
+"""
+
+import numpy as np
+
+from repro.data.composer import standard_pair
+from repro.mi.normalized import normalized_mi
+
+rng = np.random.default_rng(1)
+pair = standard_pair(rng, segment_length=120, delay=0, names=["linear", "sine", "circle"])
+
+# ----------------------------------------------------------------------
+# Fig. 4: the MI value fluctuation across sliding windows.
+window = 60
+step = 15
+print("Sliding-window normalized MI (Fig. 4 style):\n")
+for start in range(0, pair.n - window, step):
+    value = normalized_mi(pair.x[start : start + window], pair.y[start : start + window])
+    bar = "#" * int(round(40 * min(value, 1.0)))
+    marker = ""
+    for planted in pair.planted:
+        if planted.start <= start <= planted.end:
+            marker = f"  <- {planted.name}"
+            break
+    print(f"  t={start:4d} {value:5.2f} |{bar:<40s}|{marker}")
+
+# ----------------------------------------------------------------------
+# Fig. 6: excluding a noise prefix increases the MI of what remains.
+planted = pair.planted[0]
+print("\nEffect of a noise prefix (Fig. 6 style):")
+print(f"planted relation at [{planted.start}, {planted.end}]")
+for prefix in (60, 40, 20, 0):
+    s = planted.start - prefix
+    value = normalized_mi(pair.x[s : planted.end + 1], pair.y[s : planted.end + 1])
+    print(f"  window [{s:4d}, {planted.end}] ({prefix:3d} noise samples included): "
+          f"nMI = {value:.3f}")
+print("\nThe fewer noise samples a window drags along, the higher its MI --")
+print("the monotonicity Theorem 6.1 turns into a pruning rule.")

@@ -1,0 +1,65 @@
+"""Quickstart: find time delay correlations in a pair of time series.
+
+Builds a noisy pair with one planted non-linear relation at a known lag,
+runs the full TYCOS search (TYCOS_LMN), and prints the extracted windows.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Tycos, TycosConfig
+
+# ----------------------------------------------------------------------
+# 1. Data: two noise series; x[400:520] drives y 15 steps later through a
+#    non-linear response.  A linear-correlation scan would see nothing.
+rng = np.random.default_rng(0)
+n = 1000
+x = rng.uniform(0.0, 1.0, n)
+y = rng.uniform(0.0, 1.0, n)
+
+driver = rng.uniform(0.0, 1.0, 120)
+x[400:520] = driver
+y[415:535] = np.sin(6.0 * driver) / 2.0 + 0.5 + 0.02 * rng.normal(size=120)
+
+# ----------------------------------------------------------------------
+# 2. Configure the search.  sigma is a [0, 1] normalized-MI threshold;
+#    window sizes and the maximum delay bound the search space the way
+#    domain knowledge would (paper Table 2).
+config = TycosConfig(
+    sigma=0.4,          # correlation threshold (normalized MI)
+    s_min=20,           # smallest window worth reporting
+    s_max=200,          # longest plausible correlation
+    td_max=25,          # largest plausible lag
+    init_delay_step=1,  # probe every delay when seeding (exact-lag data)
+    significance_permutations=15,  # permutation test against false positives
+    seed=0,
+)
+
+# ----------------------------------------------------------------------
+# 3. Search.  Tycos(config) is TYCOS_LMN: LAHC + noise pruning +
+#    incremental MI; see repro.core.tycos for the other variants.
+engine = Tycos(config)
+result = engine.search(x, y)
+
+print(f"{engine.name} evaluated {result.stats.windows_evaluated} windows "
+      f"in {result.stats.runtime_seconds:.2f}s "
+      f"({result.stats.noise_prunes} noise prunes)\n")
+print(f"{'window':>22s} {'delay':>6s} {'nmi':>6s} {'mi (nats)':>10s}")
+for r in result.windows:
+    w = r.window
+    print(f"  [{w.start:5d}, {w.end:5d}] {w.delay:6d} {r.nmi:6.2f} {r.mi:10.3f}")
+
+best = max(result.windows, key=lambda r: r.nmi)
+print(f"\nStrongest correlation: {best.window} -- the planted relation "
+      f"lives at [400, 519] with delay 15.")
+
+# ----------------------------------------------------------------------
+# 4. Inspect the finding: MI vs Pearson plus an ASCII scatter of the
+#    dependence shape (high nmi + low |r| = non-linear relation).
+from repro.analysis import inspect_window
+
+print()
+print(inspect_window(x, y, best.window).to_text())

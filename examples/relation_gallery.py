@@ -1,0 +1,49 @@
+"""Relation gallery: why mutual information beats Pearson correlation.
+
+Generates each of the paper's nine Table-1 relation types and scores it
+with the Pearson coefficient, raw KSG MI and normalized MI, side by side.
+The non-linear / non-functional rows are exactly where PCC collapses to
+~0 while MI stays decisive -- the paper's core motivation.
+
+Run with::
+
+    python examples/relation_gallery.py
+"""
+
+import numpy as np
+
+from repro.baselines.pearson import pcc
+from repro.data.relations import RELATIONS, generate_relation
+from repro.mi.ksg import ksg_mi
+from repro.mi.normalized import normalized_mi
+
+rng = np.random.default_rng(0)
+m = 600
+
+print(f"{'relation':<12s} {'kind':<28s} {'|PCC|':>6s} {'MI':>7s} {'nMI':>6s}")
+print("-" * 64)
+for name, spec in RELATIONS.items():
+    x, y = generate_relation(name, m, rng)
+    # Rank-transform both margins: MI is invariant under monotone maps and
+    # the exponential relation spans 40 decades otherwise.
+    rx = np.argsort(np.argsort(x)).astype(float)
+    ry = np.argsort(np.argsort(y)).astype(float)
+
+    kind = []
+    if not spec.dependent:
+        kind.append("independent")
+    else:
+        kind.append("linear" if spec.linear else "non-linear")
+        kind.append("monotone" if spec.monotonic else "non-monotone")
+        if not spec.functional:
+            kind.append("non-func")
+
+    print(
+        f"{name:<12s} {'/'.join(kind):<28s} "
+        f"{abs(pcc(rx, ry)):6.2f} {ksg_mi(rx, ry):7.3f} {normalized_mi(rx, ry):6.2f}"
+    )
+
+print(
+    "\nReading: PCC sees only the linear/monotone rows; MI separates every"
+    "\ndependent relation from the independent placebo."
+)

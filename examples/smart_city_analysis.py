@@ -1,0 +1,52 @@
+"""Smart-city example: weather-to-incident lagged correlations.
+
+Simulates a month of city data (stand-in for NYC Open Data) and asks when
+precipitation and wind correlate with collision counts -- the paper's
+Table-3 findings C7-C10, including the observation that rain affects
+pedestrians more than motorists while wind does the opposite.
+
+Run with::
+
+    python examples/smart_city_analysis.py
+"""
+
+from repro import Tycos, TycosConfig
+from repro.baselines.amic import amic_search
+from repro.data.smartcity import simulate_smartcity
+
+data = simulate_smartcity(days=4, seed=0)
+resolution = data.minutes_per_sample
+
+config = TycosConfig(
+    sigma=0.25,
+    s_min=24,
+    s_max=288,       # up to one day
+    td_max=30,       # up to 2.5 hours of lag
+    jitter=1e-3,     # incident counts are integers; de-tie for the KSG kNN
+    significance_permutations=10,
+    seed=0,
+)
+
+PAIRS = [
+    ("precipitation", "collisions"),
+    ("precipitation", "pedestrian_injured"),
+    ("wind_speed", "motorist_killed"),
+]
+
+for source, target in PAIRS:
+    x, y = data.pair(source, target)
+    tycos_result = Tycos(config).search(x, y)
+    amic_result = amic_search(x, y, config.scaled(td_max=0))
+
+    print(f"=== {source} vs {target}")
+    print(f"  TYCOS: {len(tycos_result.windows)} windows")
+    for r in tycos_result.windows:
+        w = r.window
+        print(f"    [{w.start:4d}, {w.end:4d}]  delay {w.delay * resolution:+5d} min"
+              f"  nmi {r.nmi:.2f}")
+    print(f"  AMIC (no delay dimension): {len(amic_result.windows)} windows")
+    delays = tycos_result.delay_range()
+    if delays:
+        print(f"  -> weather leads incidents by up to {delays[1] * resolution} min\n")
+    else:
+        print()

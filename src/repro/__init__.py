@@ -1,0 +1,65 @@
+"""TYCOS reproduction: multi-scale time delay correlation search.
+
+Reproduction of Ho, Pedersen, Ho & Vu, "Efficient Search for Multi-Scale
+Time Delay Correlations in Big Time Series Data" (EDBT 2020).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Tycos, TycosConfig
+
+    x = np.random.default_rng(0).normal(size=2000)
+    y = np.roll(x, 25) + 0.1 * np.random.default_rng(1).normal(size=2000)
+
+    config = TycosConfig(sigma=0.3, s_min=8, s_max=200, td_max=40)
+    result = Tycos(config).search(x, y)
+    for r in result.windows:
+        print(r.window, f"nmi={r.nmi:.2f}")
+
+See :mod:`repro.core` for the search machinery, :mod:`repro.mi` for the
+mutual-information substrate, :mod:`repro.baselines` for PCC / MASS /
+MatrixProfile / AMIC, :mod:`repro.data` for the synthetic workloads, and
+:mod:`repro.experiments` for the paper's tables and figures.
+"""
+
+from repro.core import (
+    ENERGY_CONFIG,
+    SMARTCITY_CONFIG,
+    PairView,
+    SearchStats,
+    TimeDelayWindow,
+    Tycos,
+    TycosConfig,
+    TycosResult,
+    WindowResult,
+    brute_force_search,
+    tycos_l,
+    tycos_lm,
+    tycos_lmn,
+    tycos_ln,
+)
+from repro.mi import KSGEstimator, SlidingKSG, ksg_mi, normalized_mi
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Tycos",
+    "TycosConfig",
+    "TycosResult",
+    "SearchStats",
+    "TimeDelayWindow",
+    "PairView",
+    "WindowResult",
+    "brute_force_search",
+    "tycos_l",
+    "tycos_ln",
+    "tycos_lm",
+    "tycos_lmn",
+    "ENERGY_CONFIG",
+    "SMARTCITY_CONFIG",
+    "KSGEstimator",
+    "SlidingKSG",
+    "ksg_mi",
+    "normalized_mi",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Analysis layer: dataset-level workflows built on the TYCOS search.
+
+* :mod:`repro.analysis.pairwise` -- scan every pair of a sensor collection
+  (the outer loop of the paper's 72-plug energy study).
+* :mod:`repro.analysis.chunked` -- chunked search over series too long for
+  one in-memory pass.
+* :mod:`repro.analysis.csvio` -- CSV ingestion and the ``tycos-search``
+  command-line tool.
+"""
+
+from repro.analysis.chunked import ChunkedResult, chunk_pair, search_chunked
+from repro.analysis.consolidate import consolidate_windows
+from repro.analysis.csvio import read_csv_series
+from repro.analysis.inspect import WindowInspection, ascii_scatter, inspect_window
+from repro.analysis.pairwise import (
+    PairFinding,
+    PairwiseReport,
+    prefilter_score,
+    scan_pairs,
+)
+from repro.analysis.serialization import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.analysis.tuning import SigmaSweep, sigma_sweep, suggest_sigma
+
+__all__ = [
+    "scan_pairs",
+    "PairwiseReport",
+    "PairFinding",
+    "prefilter_score",
+    "search_chunked",
+    "chunk_pair",
+    "ChunkedResult",
+    "read_csv_series",
+    "consolidate_windows",
+    "inspect_window",
+    "ascii_scatter",
+    "WindowInspection",
+    "save_result",
+    "load_result",
+    "result_to_dict",
+    "result_from_dict",
+    "sigma_sweep",
+    "suggest_sigma",
+    "SigmaSweep",
+]

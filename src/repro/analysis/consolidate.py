@@ -1,0 +1,104 @@
+"""Post-processing: consolidate fragmented search output.
+
+A restart-based local search legitimately reports one long correlation as
+several adjacent windows (each restart climbs its own peak).  For
+presentation and downstream mining it is often better to consolidate:
+windows at (nearly) the same delay whose intervals touch are merged into
+one window covering the union, re-scored on the merged extent.
+
+This is distinct from :func:`repro.core.results.merge_overlapping`, which
+aggregates *across* delays for grading brute-force output; consolidation
+preserves the delay structure -- windows at different lags describe
+different physics and are never merged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.results import WindowResult
+from repro.core.thresholds import WindowScore
+from repro.core.window import PairView, TimeDelayWindow
+from repro.mi.entropy import binned_joint_entropy
+from repro.mi.ksg import KSGEstimator
+from repro.mi.normalized import normalize_ratio, normalize_value
+
+__all__ = ["consolidate_windows"]
+
+
+def _rescore(pair: PairView, window: TimeDelayWindow, estimator: KSGEstimator) -> WindowScore:
+    xw, yw = pair.extract(window)
+    mi = estimator.mi(xw, yw)
+    entropy = binned_joint_entropy(xw, yw)
+    return WindowScore(
+        mi=mi, nmi=normalize_value(mi, entropy), ratio=normalize_ratio(mi, entropy)
+    )
+
+
+def consolidate_windows(
+    results: Sequence[WindowResult],
+    x: Optional[np.ndarray] = None,
+    y: Optional[np.ndarray] = None,
+    delay_tol: int = 2,
+    gap_tol: int = 0,
+    k: int = 4,
+) -> List[WindowResult]:
+    """Merge adjacent windows that describe the same lagged correlation.
+
+    Args:
+        results: search output (``result.windows``).
+        x: the original X series; when given (with ``y``) merged windows
+            are re-scored on their full extent, otherwise the strongest
+            fragment's scores are carried over.
+        y: the original Y series.
+        delay_tol: maximum delay difference for two windows to be
+            considered the same correlation.
+        gap_tol: maximum index gap between fragments that still merges
+            (0 = only touching/overlapping fragments).
+        k: KSG neighbor count for re-scoring.
+
+    Returns:
+        Consolidated results in start order.
+    """
+    if delay_tol < 0 or gap_tol < 0:
+        raise ValueError("delay_tol and gap_tol must be >= 0")
+    if (x is None) != (y is None):
+        raise ValueError("provide both x and y, or neither")
+    if not results:
+        return []
+
+    ordered = sorted(results, key=lambda r: (r.window.start, r.window.end))
+    groups: List[List[WindowResult]] = [[ordered[0]]]
+    for result in ordered[1:]:
+        tail = groups[-1]
+        span_end = max(r.window.end for r in tail)
+        tail_delays = [r.window.delay for r in tail]
+        same_delay = any(abs(result.window.delay - d) <= delay_tol for d in tail_delays)
+        adjacent = result.window.start <= span_end + 1 + gap_tol
+        if same_delay and adjacent:
+            tail.append(result)
+        else:
+            groups.append([result])
+
+    pair = PairView(x, y) if x is not None else None
+    estimator = KSGEstimator(k=k)
+    out: List[WindowResult] = []
+    for group in groups:
+        if len(group) == 1:
+            out.append(group[0])
+            continue
+        start = min(r.window.start for r in group)
+        end = max(r.window.end for r in group)
+        # The consolidated delay is the fragment-strength-weighted choice:
+        # the strongest fragment's lag.
+        strongest = max(group, key=lambda r: r.nmi)
+        merged = TimeDelayWindow(start=start, end=end, delay=strongest.window.delay)
+        if pair is not None and merged.y_start >= 0 and merged.y_end < pair.n:
+            score = _rescore(pair, merged, estimator)
+            out.append(WindowResult(window=merged, mi=score.mi, nmi=score.nmi))
+        else:
+            out.append(WindowResult(window=merged, mi=strongest.mi, nmi=strongest.nmi))
+    out.sort(key=lambda r: r.window.key())
+    return out

@@ -1,0 +1,30 @@
+"""Baselines of the paper's evaluation (Section 8.1).
+
+* :mod:`repro.baselines.pearson` -- Pearson Correlation Coefficient scan.
+* :mod:`repro.baselines.mass` -- MASS subsequence similarity search.
+* :mod:`repro.baselines.matrix_profile` -- STOMP matrix profile AB-join.
+* :mod:`repro.baselines.amic` -- the authors' earlier top-down MI search.
+"""
+
+from repro.baselines.amic import amic_search
+from repro.baselines.mass import MassMatch, mass_distance_profile, mass_top_matches
+from repro.baselines.matrix_profile import (
+    MatrixProfileMatch,
+    matrix_profile_ab,
+    matrix_profile_scan,
+)
+from repro.baselines.pearson import PccWindow, pcc, pcc_scan, sliding_pcc
+
+__all__ = [
+    "amic_search",
+    "mass_distance_profile",
+    "mass_top_matches",
+    "MassMatch",
+    "matrix_profile_ab",
+    "matrix_profile_scan",
+    "MatrixProfileMatch",
+    "pcc",
+    "sliding_pcc",
+    "pcc_scan",
+    "PccWindow",
+]

@@ -1,0 +1,114 @@
+"""MASS: Mueen's Algorithm for Similarity Search (paper Section 8.1, [25]).
+
+MASS computes the z-normalized Euclidean distance between a query
+subsequence and *every* subsequence of a longer series in O(n log n) using
+FFT convolution.  It is the state of the art for subsequence matching, but
+-- as the paper stresses -- it measures *similarity*, not statistical
+dependence: it needs a user-provided query, and non-linear/non-functional
+relations produce no shape similarity for it to find.
+
+The z-normalized distance relates to PCC as ``d^2 = 2m(1 - r)``, so MASS
+inherits PCC's blindness to everything except (shifted/scaled) shape
+matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["mass_distance_profile", "MassMatch", "mass_top_matches"]
+
+
+def mass_distance_profile(query: np.ndarray, series: np.ndarray) -> np.ndarray:
+    """Z-normalized Euclidean distance from ``query`` to every subsequence.
+
+    Args:
+        query: pattern of length ``m``.
+        series: series of length ``n >= m``.
+
+    Returns:
+        Distance profile of length ``n - m + 1``; entry i is the distance
+        between the query and ``series[i : i + m]``.  Flat subsequences
+        (zero variance) get distance ``sqrt(2m)`` (the uncorrelated value).
+    """
+    query = np.asarray(query, dtype=np.float64).ravel()
+    series = np.asarray(series, dtype=np.float64).ravel()
+    m = query.size
+    n = series.size
+    if m < 2:
+        raise ValueError(f"query must have at least 2 samples, got {m}")
+    if n < m:
+        raise ValueError(f"series ({n}) must be at least as long as query ({m})")
+
+    sigma_q = query.std()
+    if sigma_q == 0.0:
+        return np.full(n - m + 1, np.sqrt(2.0 * m))
+    q_norm = (query - query.mean()) / sigma_q
+
+    # Sliding dot products via FFT: conv(series, reversed(query)).
+    size = 1
+    while size < n + m:
+        size <<= 1
+    fft_series = np.fft.rfft(series, size)
+    fft_query = np.fft.rfft(q_norm[::-1], size)
+    qt = np.fft.irfft(fft_series * fft_query, size)[m - 1 : n]
+
+    # Rolling mean / std of the series subsequences.
+    cumsum = np.concatenate([[0.0], np.cumsum(series)])
+    cumsum2 = np.concatenate([[0.0], np.cumsum(series * series)])
+    seg_sum = cumsum[m:] - cumsum[:-m]
+    seg_sum2 = cumsum2[m:] - cumsum2[:-m]
+    mu = seg_sum / m
+    var = np.maximum(seg_sum2 / m - mu * mu, 0.0)
+    sigma = np.sqrt(var)
+
+    # For z-normalized q (mean 0), dot(q_norm, (s - mu)/sigma) = qt / sigma.
+    dist_sq = np.full(n - m + 1, 2.0 * m)
+    ok = sigma > 1e-12
+    dist_sq[ok] = 2.0 * m * (1.0 - (qt[ok]) / (m * sigma[ok]))
+    return np.sqrt(np.maximum(dist_sq, 0.0))
+
+
+@dataclass(frozen=True)
+class MassMatch:
+    """One subsequence match found by MASS."""
+
+    position: int
+    distance: float
+
+
+def mass_top_matches(
+    query: np.ndarray,
+    series: np.ndarray,
+    top: int = 1,
+    exclusion: int | None = None,
+) -> List[MassMatch]:
+    """The ``top`` best non-trivially-overlapping matches of a query.
+
+    Args:
+        query: pattern to search for.
+        series: series to search in.
+        top: number of matches to return.
+        exclusion: minimum spacing between reported matches (defaults to
+            half the query length, the usual trivial-match exclusion zone).
+
+    Returns:
+        Matches ordered by ascending distance.
+    """
+    profile = mass_distance_profile(query, series)
+    if exclusion is None:
+        exclusion = max(1, query.size // 2)
+    profile = profile.copy()
+    out: List[MassMatch] = []
+    for _ in range(top):
+        pos = int(np.argmin(profile))
+        if not np.isfinite(profile[pos]):
+            break
+        out.append(MassMatch(position=pos, distance=float(profile[pos])))
+        lo = max(0, pos - exclusion)
+        hi = min(profile.size, pos + exclusion + 1)
+        profile[lo:hi] = np.inf
+    return out

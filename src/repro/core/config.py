@@ -1,0 +1,150 @@
+"""TYCOS configuration (paper Section 8.2, Table 2).
+
+TYCOS takes five search parameters -- the correlation threshold ``sigma``,
+the noise threshold ``epsilon`` (a hyper-parameter fixed at ``sigma / 4``
+in the paper), the window size bounds ``s_min``/``s_max`` and the maximum
+delay ``td_max`` -- plus a handful of engine knobs (LAHC history length and
+idle budget, the delta moving step, the KSG ``k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+__all__ = ["TycosConfig", "ENERGY_CONFIG", "SMARTCITY_CONFIG"]
+
+
+@dataclass(frozen=True)
+class TycosConfig:
+    """All knobs of a TYCOS search.
+
+    Attributes:
+        sigma: correlation threshold on the window score, in (0, 1] when
+            ``use_normalized`` (the default, per Section 6.3.1) or in nats
+            otherwise.
+        epsilon_ratio: the noise threshold as a fraction of sigma;
+            the paper's empirical best trade-off is 0.25 (Section 8.5 A).
+        s_min: minimum window size (samples).  Must be at least ``k + 2`` so
+            every evaluated window supports a KSG estimate.
+        s_max: maximum window size (samples).
+        td_max: maximum absolute time delay (samples).
+        delta: the delta moving step of the neighborhood (Def. 5.1).
+        history_length: length of the LAHC history list ``L_h``.
+        max_idle: ``T_maxIdle``, consecutive non-improvements before the
+            local search stops.
+        k: nearest-neighbor count of the KSG estimator.
+        use_normalized: score windows by normalized MI (Eq. 18) rather than
+            raw MI; keeps sigma on a dataset-independent [0, 1] scale.
+        jitter: relative magnitude of deterministic tie-breaking noise
+            applied to the input series (0 disables).
+        seed: seed for the LAHC history policy and the jitter noise.
+        significance_permutations: when positive, a window is only accepted
+            into the result set if its MI exceeds the MI of this many
+            within-window shuffles of Y (a permutation test against the
+            independence null).  Guards against the small-window false
+            positives any finite-sample MI estimator produces; 0 disables.
+        init_delay_step: stride of the coarse delay grid probed when
+            choosing an initial window (default ``max(1, s_min // 2)``).
+            Algorithm 1 seeds the search at delay 0 only, but the MI
+            landscape is flat along the delay axis away from a true lag, so
+            a local search seeded at 0 can never reach a distant delay;
+            probing a coarse grid of delays at each restart makes every
+            delay basin reachable while LAHC still does the fine
+            positioning.  (Without this, TYCOS_L could not approach the
+            brute-force recall Table 4 reports on delayed data.)
+    """
+
+    sigma: float = 0.3
+    epsilon_ratio: float = 0.25
+    s_min: int = 8
+    s_max: int = 200
+    td_max: int = 20
+    delta: int = 1
+    history_length: int = 5
+    max_idle: int = 3
+    k: int = 4
+    use_normalized: bool = True
+    jitter: float = 0.0
+    seed: int = 0
+    significance_permutations: int = 0
+    init_delay_step: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.init_delay_step is not None and self.init_delay_step < 1:
+            raise ValueError(f"init_delay_step must be >= 1, got {self.init_delay_step}")
+        if self.significance_permutations < 0:
+            raise ValueError(
+                f"significance_permutations must be >= 0, got {self.significance_permutations}"
+            )
+        if not self.sigma > 0:
+            raise ValueError(f"sigma must be > 0, got {self.sigma}")
+        if not 0 <= self.epsilon_ratio < 1:
+            raise ValueError(f"epsilon_ratio must be in [0, 1), got {self.epsilon_ratio}")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.s_min < self.k + 2:
+            raise ValueError(
+                f"s_min must be >= k + 2 = {self.k + 2} for the KSG estimator "
+                f"to be defined on minimal windows, got {self.s_min}"
+            )
+        if self.s_max < self.s_min:
+            raise ValueError(f"s_max ({self.s_max}) must be >= s_min ({self.s_min})")
+        if self.td_max < 0:
+            raise ValueError(f"td_max must be >= 0, got {self.td_max}")
+        if self.delta < 1:
+            raise ValueError(f"delta must be >= 1, got {self.delta}")
+        if self.history_length < 1:
+            raise ValueError(f"history_length must be >= 1, got {self.history_length}")
+        if self.max_idle < 1:
+            raise ValueError(f"max_idle must be >= 1, got {self.max_idle}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    @property
+    def epsilon(self) -> float:
+        """The noise threshold ``epsilon = epsilon_ratio * sigma`` (Def. 6.4)."""
+        return self.epsilon_ratio * self.sigma
+
+    def delay_grid(self) -> List[int]:
+        """The coarse delay grid probed for initial windows.
+
+        Always contains 0 and both extremes ``+-td_max``; interior points
+        are spaced ``init_delay_step`` apart (default ``s_min // 2``).
+        """
+        step = self.init_delay_step if self.init_delay_step is not None else max(1, self.s_min // 2)
+        grid = {0, self.td_max, -self.td_max} if self.td_max else {0}
+        tau = step
+        while tau < self.td_max:
+            grid.add(tau)
+            grid.add(-tau)
+            tau += step
+        return sorted(grid)
+
+    def scaled(self, **changes) -> "TycosConfig":
+        """A copy with some fields replaced (convenience for sweeps)."""
+        return replace(self, **changes)
+
+
+# Paper Table 2, rescaled from wall-clock durations to the sample counts of
+# our simulators (energy: minute resolution, smart city: 5-minute
+# resolution).  The paper's absolute sizes (s_max = 10080 samples = 7 days)
+# target a year of minute data; our simulated traces are shorter, so the
+# bounds are scaled down proportionally while keeping the Table-2 ratios.
+ENERGY_CONFIG = TycosConfig(
+    sigma=0.3,
+    epsilon_ratio=0.25,
+    s_min=8,
+    s_max=360,
+    td_max=60,
+    jitter=1e-6,
+)
+
+SMARTCITY_CONFIG = TycosConfig(
+    sigma=0.2,
+    epsilon_ratio=0.25,
+    s_min=8,
+    s_max=288,
+    td_max=24,
+    jitter=1e-6,
+)

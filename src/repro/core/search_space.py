@@ -1,0 +1,70 @@
+"""The TYCOS search space (paper Section 5.1, Lemma 1).
+
+The search space is the set of *feasible* windows: every
+``w = ([t_s, t_e], tau)`` with ``s_min <= |w| <= s_max``, ``|tau| <= td_max``
+and both mapped intervals inside the observation period.  Lemma 1 bounds its
+size by Eq. (4); this module provides both the paper's closed form and an
+exact enumerator (used by the brute-force baseline and by tests that
+cross-check the formula).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.window import TimeDelayWindow
+
+__all__ = ["paper_count", "exact_count", "enumerate_feasible"]
+
+
+def paper_count(n: int, s_min: int, s_max: int, td_max: int) -> int:
+    """Eq. (4): ``(n - s_min + 1) * (s_max - s_min + 1) * 2 * td_max``.
+
+    This is the paper's (slight over-)count: it ignores that large windows
+    cannot start near the end of the series and that shifted windows must
+    stay inside ``Y_T``.  Kept verbatim so the Lemma-1 worked example
+    (136,870,440 windows for n=9000, s in [20, 400], td_max=20) reproduces.
+    """
+    if n < s_min:
+        return 0
+    return (n - s_min + 1) * (s_max - s_min + 1) * 2 * td_max
+
+
+def enumerate_feasible(
+    n: int, s_min: int, s_max: int, td_max: int
+) -> Iterator[TimeDelayWindow]:
+    """Yield every feasible window of a length-n pair, in scan order.
+
+    Order: by start index, then by size, then by delay from ``-td_max`` to
+    ``td_max``.  The zero-delay window is included once.
+    """
+    if s_min < 1:
+        raise ValueError(f"s_min must be >= 1, got {s_min}")
+    for start in range(0, n - s_min + 1):
+        max_size = min(s_max, n - start)
+        for size in range(s_min, max_size + 1):
+            end = start + size - 1
+            for delay in range(-td_max, td_max + 1):
+                if start + delay >= 0 and end + delay < n:
+                    yield TimeDelayWindow(start=start, end=end, delay=delay)
+
+
+def exact_count(n: int, s_min: int, s_max: int, td_max: int) -> int:
+    """Exact number of feasible windows (closed form, no enumeration).
+
+    For a window of size ``s`` starting at ``t_s`` the delay must satisfy
+    ``-t_s <= tau <= n - 1 - (t_s + s - 1)`` intersected with
+    ``[-td_max, td_max]``.
+    """
+    if s_min < 1 or n < s_min:
+        return 0
+    total = 0
+    for start in range(0, n - s_min + 1):
+        max_size = min(s_max, n - start)
+        for size in range(s_min, max_size + 1):
+            end = start + size - 1
+            lo = max(-td_max, -start)
+            hi = min(td_max, n - 1 - end)
+            if hi >= lo:
+                total += hi - lo + 1
+    return total

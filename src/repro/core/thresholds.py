@@ -1,0 +1,246 @@
+"""Window scoring: raw MI, normalized MI and adaptive thresholds.
+
+Two interchangeable evaluators turn a :class:`TimeDelayWindow` into a
+score:
+
+* :class:`BatchScorer` -- runs the KSG estimator from scratch per window
+  (what TYCOS_L / TYCOS_LN use).
+* :class:`IncrementalScorer` -- keeps a :class:`repro.mi.SlidingKSG` engine
+  warm and evaluates each window as a diff against the previously evaluated
+  one (Section 7; what TYCOS_LM / TYCOS_LMN use).
+
+Both memoize by window identity, because LAHC revisits windows across
+neighborhood expansions.  The module also hosts :class:`TopKFilter`, the
+Section 6.3.2 alternative to a fixed sigma.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import TycosConfig
+from repro.core.window import PairView, TimeDelayWindow
+from repro.mi.entropy import binned_joint_entropy
+from repro.mi.ksg import KSGEstimator
+from repro.mi.incremental import SlidingKSG
+from repro.mi.normalized import normalize_ratio, normalize_value
+
+__all__ = ["WindowScore", "BatchScorer", "IncrementalScorer", "TopKFilter", "make_scorer"]
+
+
+@dataclass(frozen=True)
+class WindowScore:
+    """MI readings of one window.
+
+    Attributes:
+        mi: raw KSG mutual information (nats).
+        nmi: normalized MI, Eq. (18), clamped to [0, 1].
+        ratio: the unclamped ``I_w / H_w`` used as the search objective
+            (see :func:`repro.mi.normalized.normalize_ratio`).
+    """
+
+    mi: float
+    nmi: float
+    ratio: float
+
+
+class BatchScorer:
+    """Scores windows by running the KSG estimator from scratch each time.
+
+    Attributes:
+        evaluations: number of windows whose MI was actually computed.
+        cache_hits: number of scores served from the memo table.
+    """
+
+    def __init__(self, pair: PairView, config: TycosConfig):
+        self._pair = pair
+        self._config = config
+        self._estimator = KSGEstimator(k=config.k)
+        self._cache: Dict[Tuple[int, int, int], WindowScore] = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    def score(self, window: TimeDelayWindow) -> WindowScore:
+        """MI and normalized MI of a window (memoized)."""
+        key = window.key()
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        x, y = self._pair.extract(window)
+        mi = self._estimator.mi(x, y)
+        entropy = binned_joint_entropy(x, y)
+        score = WindowScore(
+            mi=mi, nmi=normalize_value(mi, entropy), ratio=normalize_ratio(mi, entropy)
+        )
+        self._cache[key] = score
+        self.evaluations += 1
+        return score
+
+    def value(self, window: TimeDelayWindow) -> float:
+        """The scalar the search maximizes (unclamped ratio or raw MI)."""
+        score = self.score(window)
+        return score.ratio if self._config.use_normalized else score.mi
+
+    def clear_cache(self) -> None:
+        """Drop the memo table (used between independent restarts)."""
+        self._cache.clear()
+
+
+class IncrementalScorer(BatchScorer):
+    """Scores windows by diffing against the last evaluated window.
+
+    Windows produced during a LAHC ascent overlap heavily, so instead of a
+    fresh O(m^2) neighbor search per window, a :class:`SlidingKSG` engine
+    is mutated by the index delta between consecutive evaluations (Lemmas
+    3-6).  A delay change re-pairs every sample, which forces a reset.
+
+    The scorer is a hybrid: below ``min_engine_size`` samples the batch
+    estimator's single vectorized kernel beats any per-point bookkeeping,
+    so small windows take the batch path outright and the engine serves
+    only the window sizes where the Section-7 reuse genuinely pays.
+    """
+
+    #: Below this window size the O(m^2) batch kernel is cheaper than
+    #: engine maintenance (measured crossover of the two Python paths).
+    min_engine_size = 96
+
+    def __init__(self, pair: PairView, config: TycosConfig):
+        super().__init__(pair, config)
+        self._engine = SlidingKSG(k=config.k)
+        self._base: Optional[TimeDelayWindow] = None
+        self._trajectory_delay: Optional[int] = None
+
+    @property
+    def engine(self) -> SlidingKSG:
+        """The underlying sliding engine (exposed for stats/ablations)."""
+        return self._engine
+
+    def follow_delay(self, delay: int) -> None:
+        """Pin the engine to the search trajectory's current delay.
+
+        The driver calls this whenever the accepted solution (re)settles on
+        a delay.  Only windows at this delay are evaluated through the
+        sliding engine; a neighborhood ring probes dozens of other delays
+        exactly once each, and paying an engine rebuild for a one-off probe
+        costs more than the batch estimate it would save.
+        """
+        self._trajectory_delay = delay
+
+    def score(self, window: TimeDelayWindow) -> WindowScore:
+        key = window.key()
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        if window.size < self.min_engine_size or (
+            self._trajectory_delay is not None and window.delay != self._trajectory_delay
+        ):
+            # Small window, or an off-trajectory delay probe: batch path.
+            xw, yw = self._pair.extract(window)
+            mi = self._estimator.mi(xw, yw)
+            return self._finish(window, mi, xw, yw)
+        base = self._base
+        x = self._pair.x
+        y = self._pair.y
+        if base is not None and base.delay == window.delay:
+            diff = self._diff_cost(base, window)
+            # Engine repair costs ~O(diff * m) with Python constants; the
+            # batch estimate costs O(m^2) in one numpy kernel.  The engine
+            # wins only while the diff stays well below m.
+            if diff > max(4, window.size // 8) and diff < window.size:
+                # Large one-off diff (e.g. the noise detector's concat
+                # probes): repairing the engine would cost more than a
+                # batch estimate, and the engine must stay anchored at the
+                # current solution for the ring neighbors that follow.
+                xw, yw = self._pair.extract(window)
+                return self._finish(window, self._estimator.mi(xw, yw), xw, yw)
+        if base is None or base.delay != window.delay or self._diff_cost(base, window) >= window.size:
+            xw, yw = self._pair.extract(window)
+            self._engine.reset(xw, yw, ids=window.x_indices())
+        else:
+            # Exact delta ranges -- never touch the shared bulk of the two
+            # windows.  Shrinks first (cheaper neighbor invalidation).
+            delay = window.delay
+            for lo, hi in (
+                (base.start, min(base.end, window.start - 1)),   # left trim
+                (max(base.start, window.end + 1), base.end),     # right trim
+            ):
+                for i in range(lo, hi + 1):
+                    self._engine.remove(i)
+            for lo, hi in (
+                (window.start, min(window.end, base.start - 1)),  # left grow
+                (max(window.start, base.end + 1), window.end),    # right grow
+            ):
+                for i in range(lo, hi + 1):
+                    self._engine.add(i, x[i], y[i + delay])
+        self._base = window
+        mi = self._engine.mi()
+        xw, yw = self._pair.extract(window)
+        return self._finish(window, mi, xw, yw)
+
+    def _finish(self, window: TimeDelayWindow, mi: float, xw, yw) -> WindowScore:
+        entropy = binned_joint_entropy(xw, yw)
+        score = WindowScore(
+            mi=mi, nmi=normalize_value(mi, entropy), ratio=normalize_ratio(mi, entropy)
+        )
+        self._cache[window.key()] = score
+        self.evaluations += 1
+        return score
+
+    @staticmethod
+    def _diff_cost(base: TimeDelayWindow, window: TimeDelayWindow) -> int:
+        """Number of point insertions + removals to morph base into window."""
+        inter_lo = max(base.start, window.start)
+        inter_hi = min(base.end, window.end)
+        inter = max(0, inter_hi - inter_lo + 1)
+        return (base.size - inter) + (window.size - inter)
+
+
+def make_scorer(pair: PairView, config: TycosConfig, incremental: bool) -> BatchScorer:
+    """Factory: pick the scorer matching the TYCOS variant."""
+    if incremental:
+        return IncrementalScorer(pair, config)
+    return BatchScorer(pair, config)
+
+
+class TopKFilter:
+    """Adaptive correlation threshold via a top-K list (Section 6.3.2).
+
+    Maintains the K highest-scoring windows seen so far; the effective
+    sigma is the smallest score in the list once it is full, so the search
+    progressively tightens its own acceptance bar.
+    """
+
+    def __init__(self, capacity: int, initial_sigma: float = 0.0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._heap: List[Tuple[float, Tuple[int, int, int], TimeDelayWindow]] = []
+        self._initial_sigma = initial_sigma
+
+    @property
+    def sigma(self) -> float:
+        """Current effective threshold."""
+        if len(self._heap) < self.capacity:
+            return self._initial_sigma
+        return self._heap[0][0]
+
+    def offer(self, window: TimeDelayWindow, value: float) -> bool:
+        """Consider a window; returns True when it enters the top-K list."""
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, (value, window.key(), window))
+            return True
+        if value > self._heap[0][0]:
+            heapq.heapreplace(self._heap, (value, window.key(), window))
+            return True
+        return False
+
+    def windows(self) -> List[Tuple[TimeDelayWindow, float]]:
+        """The current top-K windows, best first."""
+        return [(w, v) for v, _, w in sorted(self._heap, reverse=True)]
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,336 @@
+"""TYCOS: the Time delaY COrrelation Search (paper Sections 5-7).
+
+The four variants evaluated in the paper are all served by one driver with
+two switches:
+
+===========  ==========  ===============
+Variant      noise theory  incremental MI
+===========  ==========  ===============
+TYCOS_L      off          off
+TYCOS_LN     on           off
+TYCOS_LM     off          on
+TYCOS_LMN    on           on
+===========  ==========  ===============
+
+The driver implements Algorithms 1 and 2: starting from an initial window
+(leading-noise-pruned for the N variants), a LAHC ascent maximizes the
+window score over delta-neighborhoods that grow while the search idles;
+the local optimum is accepted into the result set when it clears sigma;
+then the search restarts on the remaining data until the pair is scanned.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import TycosConfig
+from repro.core.lahc import LateAcceptanceHillClimbing
+from repro.core.neighborhood import neighborhood
+from repro.core.noise import NoiseDetector, find_initial_window
+from repro.core.results import OverlapPolicy, ResultSet, WindowResult
+from repro.core.thresholds import IncrementalScorer, TopKFilter, make_scorer
+from repro.core.window import PairView, TimeDelayWindow
+
+__all__ = [
+    "SearchStats",
+    "TycosResult",
+    "Tycos",
+    "tycos_l",
+    "tycos_ln",
+    "tycos_lm",
+    "tycos_lmn",
+]
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation of one search run.
+
+    Attributes:
+        windows_evaluated: windows whose MI was actually computed.
+        cache_hits: window scores served from the memo table.
+        restarts: number of LAHC ascents launched.
+        lahc_iterations: total acceptance rounds across ascents.
+        accepted_moves: total accepted LAHC moves.
+        noise_prunes: direction blocks issued by the noise detector.
+        mi_full_searches: from-scratch k-NN searches in the sliding engine
+            (incremental variants only).
+        mi_incremental_updates: constant-time neighbor-set updates
+            (incremental variants only).
+        runtime_seconds: wall-clock time of the search.
+    """
+
+    windows_evaluated: int = 0
+    cache_hits: int = 0
+    restarts: int = 0
+    lahc_iterations: int = 0
+    accepted_moves: int = 0
+    noise_prunes: int = 0
+    mi_full_searches: int = 0
+    mi_incremental_updates: int = 0
+    runtime_seconds: float = 0.0
+
+
+@dataclass
+class TycosResult:
+    """Windows found by a search plus run statistics."""
+
+    windows: List[WindowResult] = field(default_factory=list)
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def delays(self) -> List[int]:
+        """Delays of all extracted windows."""
+        return [r.window.delay for r in self.windows]
+
+    def delay_range(self) -> Optional[Tuple[int, int]]:
+        """(min, max) delay over extracted windows, or None when empty."""
+        if not self.windows:
+            return None
+        ds = self.delays()
+        return (min(ds), max(ds))
+
+
+class Tycos:
+    """Configurable TYCOS search engine.
+
+    Args:
+        config: search parameters.
+        use_noise: enable the Section-6 noise theory (the "N" in LN/LMN).
+        use_incremental: enable the Section-7 incremental MI computation
+            (the "M" in LM/LMN).
+        overlap_policy: how the result set resolves overlapping windows.
+    """
+
+    def __init__(
+        self,
+        config: TycosConfig,
+        use_noise: bool = True,
+        use_incremental: bool = True,
+        overlap_policy: OverlapPolicy = OverlapPolicy.CONTAINMENT,
+    ):
+        self.config = config
+        self.use_noise = use_noise
+        self.use_incremental = use_incremental
+        self.overlap_policy = overlap_policy
+
+    @property
+    def name(self) -> str:
+        """Paper-style variant name (TYCOS_L / _LN / _LM / _LMN)."""
+        suffix = "L"
+        if self.use_incremental:
+            suffix += "M"
+        if self.use_noise:
+            suffix += "N"
+        return f"TYCOS_{suffix}"
+
+    # ------------------------------------------------------------------ #
+
+    def search(self, x: np.ndarray, y: np.ndarray) -> TycosResult:
+        """Find all correlated time delay windows of a pair (Algorithm 1/2).
+
+        Args:
+            x: first time series.
+            y: second time series (same length).
+
+        Returns:
+            A :class:`TycosResult` whose windows all score at least
+            ``config.sigma`` and respect the overlap policy.
+        """
+        started = time.perf_counter()
+        cfg = self.config
+        pair = PairView(x, y, jitter=cfg.jitter, seed=cfg.seed)
+        scorer = make_scorer(pair, cfg, incremental=self.use_incremental)
+        rng = np.random.default_rng(cfg.seed)
+        lahc = LateAcceptanceHillClimbing(cfg.history_length, cfg.max_idle, rng)
+        detector = NoiseDetector(scorer=scorer, config=cfg, n=pair.n) if self.use_noise else None
+        accepted = ResultSet(policy=self.overlap_policy)
+        stats = SearchStats()
+
+        def sigma_of(value: float) -> bool:
+            return value >= cfg.sigma
+
+        self._drive(pair, scorer, lahc, detector, stats, sigma_of, accepted.insert)
+
+        stats.windows_evaluated = scorer.evaluations
+        stats.cache_hits = scorer.cache_hits
+        if detector is not None:
+            stats.noise_prunes = detector.prunes
+        if isinstance(scorer, IncrementalScorer):
+            stats.mi_full_searches = scorer.engine.full_searches
+            stats.mi_incremental_updates = scorer.engine.incremental_updates
+        stats.runtime_seconds = time.perf_counter() - started
+        return TycosResult(windows=accepted.results(), stats=stats)
+
+    def search_topk(self, x: np.ndarray, y: np.ndarray, k_top: int) -> TycosResult:
+        """Top-K variant (Section 6.3.2): keep the K best windows found.
+
+        The effective sigma starts at the first window's score and tightens
+        as the top-K list fills, so no absolute threshold is needed.
+        """
+        started = time.perf_counter()
+        cfg = self.config
+        pair = PairView(x, y, jitter=cfg.jitter, seed=cfg.seed)
+        scorer = make_scorer(pair, cfg, incremental=self.use_incremental)
+        rng = np.random.default_rng(cfg.seed)
+        lahc = LateAcceptanceHillClimbing(cfg.history_length, cfg.max_idle, rng)
+        detector = NoiseDetector(scorer=scorer, config=cfg, n=pair.n) if self.use_noise else None
+        stats = SearchStats()
+        topk = TopKFilter(capacity=k_top)
+
+        def sigma_of(value: float) -> bool:
+            return value > topk.sigma or len(topk) < k_top
+
+        def accept(result: WindowResult, value: float) -> bool:
+            return topk.offer(result.window, value)
+
+        self._drive(pair, scorer, lahc, detector, stats, sigma_of, accept)
+
+        stats.windows_evaluated = scorer.evaluations
+        stats.cache_hits = scorer.cache_hits
+        if detector is not None:
+            stats.noise_prunes = detector.prunes
+        stats.runtime_seconds = time.perf_counter() - started
+        windows = [
+            WindowResult(window=w, mi=scorer.score(w).mi, nmi=scorer.score(w).nmi)
+            for w, _ in topk.windows()
+        ]
+        return TycosResult(windows=windows, stats=stats)
+
+    # ------------------------------------------------------------------ #
+
+    def _drive(
+        self,
+        pair: PairView,
+        scorer,
+        lahc: LateAcceptanceHillClimbing,
+        detector: Optional[NoiseDetector],
+        stats: SearchStats,
+        passes_threshold: Callable[[float], bool],
+        accept: Callable[[WindowResult, float], bool],
+    ) -> None:
+        """The restart loop shared by the fixed-sigma and top-K searches."""
+        cfg = self.config
+        n = pair.n
+        scan_from = 0
+        while scan_from + cfg.s_min - 1 < n:
+            w0 = self._initial_window(scorer, n, scan_from, detector)
+            if w0 is None:
+                break
+            v0 = scorer.value(w0)
+            if detector is not None:
+                detector.reset()
+
+            if isinstance(scorer, IncrementalScorer):
+                scorer.follow_delay(w0.delay)
+            last_seen: List[Optional[TimeDelayWindow]] = [None]
+
+            def candidates(current: TimeDelayWindow, idle: int):
+                if last_seen[0] != current:
+                    if isinstance(scorer, IncrementalScorer):
+                        scorer.follow_delay(current.delay)
+                    if detector is not None:
+                        detector.reset()
+                        detector.inspect(current, scorer.value(current))
+                    last_seen[0] = current
+                blocked = frozenset(detector.blocked) if detector is not None else frozenset()
+                nbs = neighborhood(
+                    current,
+                    radius=1 + idle,
+                    delta=cfg.delta,
+                    n=n,
+                    s_min=cfg.s_min,
+                    s_max=cfg.s_max,
+                    td_max=cfg.td_max,
+                    blocked=blocked,
+                )
+                # Evaluate same-delay candidates consecutively so the
+                # incremental scorer's on-trajectory diffs chain between
+                # adjacent windows instead of ping-ponging across the ring.
+                nbs.sort(key=lambda nb: (nb.window.delay, nb.window.start, nb.window.end))
+                return [(nb.window, scorer.value(nb.window)) for nb in nbs]
+
+            ascent = lahc.search(w0, v0, candidates)
+            stats.restarts += 1
+            stats.lahc_iterations += ascent.iterations
+            stats.accepted_moves += ascent.accepted_moves
+
+            best, best_value = ascent.best, ascent.best_value
+            if passes_threshold(best_value) and self._is_significant(pair, best, scorer):
+                score = scorer.score(best)
+                accept(WindowResult(window=best, mi=score.mi, nmi=score.nmi), best_value)
+                scan_from = max(scan_from + cfg.s_min, best.end + 1, w0.end + 1)
+            else:
+                scan_from = max(scan_from + cfg.s_min, w0.end + 1)
+
+    def _is_significant(self, pair: PairView, window: TimeDelayWindow, scorer) -> bool:
+        """Permutation test: the window's MI must beat every within-window
+        shuffle of Y (disabled when ``significance_permutations`` is 0)."""
+        b = self.config.significance_permutations
+        if b == 0:
+            return True
+        from repro.mi.ksg import KSGEstimator
+
+        xw, yw = pair.extract(window)
+        estimator = KSGEstimator(k=self.config.k)
+        observed = scorer.score(window).mi
+        rng = np.random.default_rng(self.config.seed + window.start)
+        for _ in range(b):
+            if estimator.mi(xw, rng.permutation(yw)) >= observed:
+                return False
+        return True
+
+    def _initial_window(
+        self,
+        scorer,
+        n: int,
+        scan_from: int,
+        detector: Optional[NoiseDetector],
+    ) -> Optional[TimeDelayWindow]:
+        cfg = self.config
+        if detector is not None:
+            return find_initial_window(scorer, cfg, n, scan_from)
+        if scan_from + cfg.s_min - 1 >= n:
+            return None
+        # Plain variants seed with the best minimal window at scan_from over
+        # the coarse delay grid (see TycosConfig.init_delay_step).
+        best: Optional[TimeDelayWindow] = None
+        best_value = -np.inf
+        for tau in cfg.delay_grid():
+            end = scan_from + cfg.s_min - 1
+            if scan_from + tau < 0 or end + tau >= n:
+                continue
+            cand = TimeDelayWindow(start=scan_from, end=end, delay=tau)
+            value = scorer.value(cand)
+            if value > best_value:
+                best, best_value = cand, value
+        return best
+
+
+# Variant factories matching the paper's naming -------------------------- #
+
+
+def tycos_l(config: TycosConfig) -> Tycos:
+    """Plain LAHC search (Section 5.2)."""
+    return Tycos(config, use_noise=False, use_incremental=False)
+
+
+def tycos_ln(config: TycosConfig) -> Tycos:
+    """LAHC + noise theory (Section 6)."""
+    return Tycos(config, use_noise=True, use_incremental=False)
+
+
+def tycos_lm(config: TycosConfig) -> Tycos:
+    """LAHC + efficient incremental MI computation (Section 7)."""
+    return Tycos(config, use_noise=False, use_incremental=True)
+
+
+def tycos_lmn(config: TycosConfig) -> Tycos:
+    """LAHC + noise theory + incremental MI (the full system)."""
+    return Tycos(config, use_noise=True, use_incremental=True)

@@ -1,0 +1,41 @@
+"""Synthetic workloads: Table-1 relations and the real-world substitutes."""
+
+from repro.data.composer import ComposedPair, PlantedRelation, compose, standard_pair
+from repro.data.energy import (
+    DEVICES,
+    EXPECTED_COUPLINGS,
+    Coupling,
+    EnergyDataset,
+    simulate_energy,
+)
+from repro.data.relations import RELATIONS, RelationSpec, generate_relation, relation_names
+from repro.data.smartcity import (
+    EXPECTED_CITY_COUPLINGS,
+    INCIDENT_VARIABLES,
+    WEATHER_VARIABLES,
+    CityCoupling,
+    SmartCityDataset,
+    simulate_smartcity,
+)
+
+__all__ = [
+    "RELATIONS",
+    "RelationSpec",
+    "generate_relation",
+    "relation_names",
+    "ComposedPair",
+    "PlantedRelation",
+    "compose",
+    "standard_pair",
+    "EnergyDataset",
+    "Coupling",
+    "EXPECTED_COUPLINGS",
+    "DEVICES",
+    "simulate_energy",
+    "SmartCityDataset",
+    "CityCoupling",
+    "EXPECTED_CITY_COUPLINGS",
+    "WEATHER_VARIABLES",
+    "INCIDENT_VARIABLES",
+    "simulate_smartcity",
+]

@@ -1,0 +1,169 @@
+"""The nine synthetic relation types of paper Table 1.
+
+Each generator draws ``m`` samples of ``x`` uniformly over the stated
+domain (in random order -- crucial, because it makes the delay between x
+and y identifiable: a time-shuffled functional relation only lines up at
+the true lag) and produces ``y = f(x) + u`` with ``u ~ U(0, 1)`` noise,
+exactly as Table 1 specifies:
+
+=============  ==================================================
+independent    ``y ~ N(0,1)``, ``x ~ N(3,5)``
+linear         ``y = 2x + u``, ``x in [0, 10]``
+exponential    ``y = 0.01^(x+u)``, ``x in [-10, 10]``
+quadratic      ``y = x^2 + u``, ``x in [-4, 4]``
+circle         ``y = +-sqrt(3^2 - x^2 + u)``, ``x in [-3, 3]``
+sine           ``y = 2 sin(x) + u``, ``x in [0, 10]``
+cross          ``y1 = x + u, y2 = -x + u``, ``x in [-5, 5]``
+quartic        ``y = x^4 - 4x^3 + 4x^2 + x + u``, ``x in [-1, 3]``
+square_root    ``y = sqrt(x)``, ``x in [0, 25]``
+=============  ==================================================
+
+The circle and cross relations are *non-functional* (one x maps to two
+possible y); quadratic/sine/quartic are non-monotonic; exponential and
+square root are non-linear but monotonic.  Together they span every class
+the paper claims TYCOS handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["RelationSpec", "RELATIONS", "generate_relation", "relation_names"]
+
+Sampler = Callable[[int, np.random.Generator], Tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """One Table-1 relation.
+
+    Attributes:
+        name: identifier used throughout the experiment harness.
+        description: the ``y = f(x)`` formula as printed in Table 1.
+        functional: True when each x maps to a single y.
+        monotonic: True when f is monotonic over its domain.
+        linear: True for the linear relation only.
+        dependent: False only for the independent pair.
+        sampler: draws ``(x, y)`` samples of the relation.
+    """
+
+    name: str
+    description: str
+    functional: bool
+    monotonic: bool
+    linear: bool
+    dependent: bool
+    sampler: Sampler
+
+
+def _u(m: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.uniform(0.0, 1.0, m)
+
+
+def _independent(m: int, rng: np.random.Generator):
+    return rng.normal(3.0, 5.0, m), rng.normal(0.0, 1.0, m)
+
+
+def _linear(m: int, rng: np.random.Generator):
+    x = rng.uniform(0.0, 10.0, m)
+    return x, 2.0 * x + _u(m, rng)
+
+
+def _exponential(m: int, rng: np.random.Generator):
+    x = rng.uniform(-10.0, 10.0, m)
+    return x, np.power(0.01, x + _u(m, rng))
+
+
+def _quadratic(m: int, rng: np.random.Generator):
+    x = rng.uniform(-4.0, 4.0, m)
+    return x, x * x + _u(m, rng)
+
+
+def _circle(m: int, rng: np.random.Generator):
+    x = rng.uniform(-3.0, 3.0, m)
+    sign = rng.choice([-1.0, 1.0], m)
+    return x, sign * np.sqrt(np.maximum(9.0 - x * x + _u(m, rng), 0.0))
+
+
+def _sine(m: int, rng: np.random.Generator):
+    x = rng.uniform(0.0, 10.0, m)
+    return x, 2.0 * np.sin(x) + _u(m, rng)
+
+
+def _cross(m: int, rng: np.random.Generator):
+    x = rng.uniform(-5.0, 5.0, m)
+    branch = rng.choice([-1.0, 1.0], m)
+    return x, branch * x + _u(m, rng)
+
+
+def _quartic(m: int, rng: np.random.Generator):
+    x = rng.uniform(-1.0, 3.0, m)
+    return x, x**4 - 4.0 * x**3 + 4.0 * x**2 + x + _u(m, rng)
+
+
+def _square_root(m: int, rng: np.random.Generator):
+    x = rng.uniform(0.0, 25.0, m)
+    return x, np.sqrt(x)
+
+
+RELATIONS: Dict[str, RelationSpec] = {
+    spec.name: spec
+    for spec in [
+        RelationSpec(
+            "independent", "y~N(0,1), x~N(3,5)", False, False, False, False, _independent
+        ),
+        RelationSpec("linear", "y = 2x + u, x in [0,10]", True, True, True, True, _linear),
+        RelationSpec(
+            "exponential", "y = 0.01^(x+u), x in [-10,10]", True, True, False, True, _exponential
+        ),
+        RelationSpec("quadratic", "y = x^2 + u, x in [-4,4]", True, False, False, True, _quadratic),
+        RelationSpec(
+            "circle", "y = +-sqrt(9 - x^2 + u), x in [-3,3]", False, False, False, True, _circle
+        ),
+        RelationSpec("sine", "y = 2sin(x) + u, x in [0,10]", True, False, False, True, _sine),
+        RelationSpec(
+            "cross", "y1 = x + u, y2 = -x + u, x in [-5,5]", False, False, False, True, _cross
+        ),
+        RelationSpec(
+            "quartic",
+            "y = x^4 - 4x^3 + 4x^2 + x + u, x in [-1,3]",
+            True,
+            False,
+            False,
+            True,
+            _quartic,
+        ),
+        RelationSpec("square_root", "y = sqrt(x), x in [0,25]", True, True, False, True, _square_root),
+    ]
+}
+
+
+def relation_names() -> List[str]:
+    """Names of the nine relations in Table-1 order."""
+    return list(RELATIONS)
+
+
+def generate_relation(
+    name: str, m: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw ``m`` samples of a named relation.
+
+    Args:
+        name: one of :func:`relation_names`.
+        m: number of samples.
+        rng: source of randomness.
+
+    Returns:
+        ``(x, y)`` sample arrays of length ``m``.
+
+    Raises:
+        KeyError: for an unknown relation name.
+    """
+    if name not in RELATIONS:
+        raise KeyError(f"unknown relation {name!r}; choose from {relation_names()}")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    return RELATIONS[name].sampler(m, rng)

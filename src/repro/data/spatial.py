@@ -1,0 +1,139 @@
+"""Spatially-indexed sensor network simulator (moving weather front).
+
+Supports the spatial extension (:mod:`repro.extensions.spatial`): a set of
+stations at known coordinates observes a phenomenon (a weather front) that
+sweeps across the plane at constant velocity.  Each station records the
+same signal shape delayed by its arrival time, plus local noise -- so
+every station pair is correlated at a lag proportional to their separation
+along the direction of motion.  The ground-truth velocity lets tests and
+benches grade the propagation estimate exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["Station", "SpatialDataset", "simulate_moving_front"]
+
+
+@dataclass(frozen=True)
+class Station:
+    """A sensor at a fixed planar position."""
+
+    name: str
+    x: float
+    y: float
+
+    def distance_to(self, other: "Station") -> float:
+        """Euclidean distance between two stations."""
+        return float(np.hypot(self.x - other.x, self.y - other.y))
+
+
+@dataclass
+class SpatialDataset:
+    """Station series plus geometry and the planted ground truth.
+
+    Attributes:
+        stations: station metadata by name.
+        series: station name -> observed series.
+        velocity: the planted front velocity (units: distance per sample).
+        front_times: station name -> arrival time (samples) of each event.
+    """
+
+    stations: Dict[str, Station]
+    series: Dict[str, np.ndarray]
+    velocity: Tuple[float, float]
+    front_times: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        """Samples per station."""
+        return next(iter(self.series.values())).size
+
+    def pair(self, a: str, b: str) -> Tuple[np.ndarray, np.ndarray]:
+        """The series pair of two stations."""
+        return self.series[a], self.series[b]
+
+    def expected_delay(self, a: str, b: str) -> float:
+        """Planted lag (samples) of b's observation relative to a's.
+
+        The front reaches position p at time ``dot(p, v) / |v|^2`` (up to a
+        constant), so the expected pairwise delay is the projected
+        separation divided by the speed.
+        """
+        va = np.array([self.stations[a].x, self.stations[a].y])
+        vb = np.array([self.stations[b].x, self.stations[b].y])
+        v = np.asarray(self.velocity)
+        speed_sq = float(v @ v)
+        if speed_sq == 0:
+            return 0.0
+        return float((vb - va) @ v / speed_sq)
+
+
+def simulate_moving_front(
+    stations: Dict[str, Tuple[float, float]],
+    n: int = 800,
+    events: int = 3,
+    velocity: Tuple[float, float] = (0.5, 0.0),
+    event_duration: Tuple[int, int] = (40, 80),
+    noise: float = 0.15,
+    seed: int = 0,
+) -> SpatialDataset:
+    """Simulate a sensor network observing fronts crossing the plane.
+
+    Args:
+        stations: name -> (x, y) coordinates.
+        n: samples per station.
+        events: number of front passages.
+        velocity: front velocity in distance units per sample; a station at
+            position p observes each event ``dot(p, v)/|v|^2`` samples
+            after the origin does.
+        event_duration: (min, max) samples of each event's pulse.
+        noise: standard deviation of per-station observation noise.
+        seed: randomness seed.
+
+    Returns:
+        A :class:`SpatialDataset` with ground truth recorded.
+    """
+    if not stations:
+        raise ValueError("need at least one station")
+    rng = np.random.default_rng(seed)
+    station_objs = {name: Station(name, float(p[0]), float(p[1])) for name, p in stations.items()}
+    v = np.asarray(velocity, dtype=np.float64)
+    speed_sq = float(v @ v)
+    series = {name: rng.normal(scale=noise, size=n) for name in stations}
+    front_times: Dict[str, List[int]] = {name: [] for name in stations}
+
+    # Arrival offsets per station relative to the origin.
+    offsets = {
+        name: (0.0 if speed_sq == 0 else float(np.array([s.x, s.y]) @ v / speed_sq))
+        for name, s in station_objs.items()
+    }
+    max_offset = max(offsets.values())
+    min_offset = min(offsets.values())
+
+    for _ in range(events):
+        duration = int(rng.integers(event_duration[0], event_duration[1] + 1))
+        # Event start at the origin, chosen so every station sees it fully.
+        lo = int(np.ceil(-min_offset)) + 1
+        hi = n - duration - int(np.ceil(max_offset)) - 1
+        if hi <= lo:
+            raise ValueError("series too short for the station geometry and event size")
+        t0 = int(rng.integers(lo, hi))
+        amplitude = rng.uniform(0.8, 1.6)
+        shape = amplitude * np.sin(np.linspace(0.05, np.pi - 0.05, duration)) ** 2
+        shape = shape * (1.0 + 0.1 * rng.normal(size=duration))
+        for name in stations:
+            arrival = t0 + int(round(offsets[name]))
+            series[name][arrival : arrival + duration] += shape
+            front_times[name].append(arrival)
+
+    return SpatialDataset(
+        stations=station_objs,
+        series=series,
+        velocity=(float(v[0]), float(v[1])),
+        front_times=front_times,
+    )

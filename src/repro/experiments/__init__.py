@@ -1,0 +1,69 @@
+"""Experiment harness: one runner per table / figure of the paper.
+
+========  ===========================================  =======================
+Artifact  What it shows                                Runner
+========  ===========================================  =======================
+Table 1   relation types identified per method         :func:`run_table1`
+Table 2   parameter presets                            ``repro.core.config``
+Table 3   correlations extracted from real-world sims  :func:`run_table3`
+Table 4   accuracy of TYCOS_L / TYCOS_LN               :func:`run_table4`
+Fig 9     runtime of the four TYCOS variants           :func:`run_fig9`
+Fig 10    Brute Force / MatrixProfile / TYCOS_LMN      :func:`run_fig10`
+Fig 11    noise-threshold sweep (error, runtime gain)  :func:`run_fig11`
+Fig 12    accuracy vs runtime-gain trade-off           :func:`run_fig12`
+Fig 13    effect of sigma, s_max, td_max               ``run_fig13_*``
+========  ===========================================  =======================
+"""
+
+from repro.experiments.datasets import DATASET_NAMES, dataset_pair
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.fig10 import Fig10Result, run_fig10
+from repro.experiments.fig11 import Fig11Result, run_fig11
+from repro.experiments.fig12 import Fig12Result, run_fig12
+from repro.experiments.fig13 import (
+    Fig13Result,
+    run_fig13_sigma,
+    run_fig13_smax,
+    run_fig13_tdmax,
+)
+from repro.experiments.illustrations import (
+    illustration_pair,
+    mi_fluctuation,
+    noise_prefix_effect,
+)
+from repro.experiments.similarity import covers, detects, window_set_similarity
+from repro.experiments.summary import SummaryReport, generate_summary
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table3 import Table3Result, run_table3
+from repro.experiments.table4 import Table4Result, run_table4
+
+__all__ = [
+    "run_table1",
+    "Table1Result",
+    "run_table3",
+    "Table3Result",
+    "run_table4",
+    "Table4Result",
+    "run_fig9",
+    "Fig9Result",
+    "run_fig10",
+    "Fig10Result",
+    "run_fig11",
+    "Fig11Result",
+    "run_fig12",
+    "Fig12Result",
+    "run_fig13_sigma",
+    "run_fig13_smax",
+    "run_fig13_tdmax",
+    "Fig13Result",
+    "covers",
+    "detects",
+    "window_set_similarity",
+    "dataset_pair",
+    "DATASET_NAMES",
+    "mi_fluctuation",
+    "noise_prefix_effect",
+    "illustration_pair",
+    "generate_summary",
+    "SummaryReport",
+]

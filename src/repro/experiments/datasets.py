@@ -1,0 +1,73 @@
+"""Shared dataset builders for the efficiency experiments (Figs 9-13).
+
+The paper evaluates runtime on three synthetic datasets (each a different
+mix of Table-1 relations composed into one pair) and on the two real-world
+collections.  These builders produce the equivalent pairs at an arbitrary
+target length so the figures can sweep data size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.data.composer import compose
+from repro.data.energy import simulate_energy
+from repro.data.smartcity import simulate_smartcity
+
+__all__ = ["synthetic_pair", "energy_pair", "city_pair", "dataset_pair", "DATASET_NAMES"]
+
+DATASET_NAMES = ("synthetic1", "synthetic2", "synthetic3", "energy", "smartcity")
+
+# Relation mixes of the three synthetic datasets (Section 8.4 A).
+_MIXES: Dict[str, Tuple[str, ...]] = {
+    "synthetic1": ("linear", "sine", "quadratic"),
+    "synthetic2": ("exponential", "circle", "square_root", "cross"),
+    "synthetic3": ("quartic", "sine", "linear", "circle", "quadratic"),
+}
+
+
+def synthetic_pair(name: str, n: int, seed: int = 0, delay: int = 25) -> Tuple[np.ndarray, np.ndarray]:
+    """A synthetic pair of roughly ``n`` samples with a known relation mix.
+
+    Segments and separating gaps are scaled so the requested length is
+    approximately met while keeping the mix proportions fixed.
+    """
+    if name not in _MIXES:
+        raise KeyError(f"unknown synthetic dataset {name!r}; choose from {sorted(_MIXES)}")
+    mix = _MIXES[name]
+    rng = np.random.default_rng(seed)
+    # Each relation contributes one segment + one gap; solve for the size.
+    per_block = max(2 * (abs(delay) + 10), n // (2 * len(mix)))
+    gap = max(abs(delay) + 10, per_block // 2)
+    plan = [(rel, per_block, delay) for rel in mix]
+    pair = compose(plan, rng, gap=gap)
+    return pair.x[:n] if pair.n >= n else pair.x, pair.y[:n] if pair.n >= n else pair.y
+
+
+def energy_pair(n: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """A kitchen / dish-washer pair of roughly ``n`` samples (8-min res)."""
+    days = max(1, int(np.ceil(n / 180.0)))
+    data = simulate_energy(days=days, seed=seed, minutes_per_sample=8)
+    x, y = data.pair("kitchen", "dish_washer")
+    return x[:n], y[:n]
+
+
+def city_pair(n: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """A precipitation / collisions pair of roughly ``n`` samples (5-min res)."""
+    days = max(1, int(np.ceil(n / 288.0)))
+    data = simulate_smartcity(days=days, seed=seed)
+    x, y = data.pair("precipitation", "collisions")
+    return x[:n], y[:n]
+
+
+def dataset_pair(name: str, n: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Dispatch on a dataset name from :data:`DATASET_NAMES`."""
+    if name in _MIXES:
+        return synthetic_pair(name, n, seed=seed)
+    if name == "energy":
+        return energy_pair(n, seed=seed)
+    if name == "smartcity":
+        return city_pair(n, seed=seed)
+    raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")

@@ -1,0 +1,133 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Installed as ``tycos-experiments`` (see pyproject).  Examples::
+
+    tycos-experiments table1
+    tycos-experiments fig10 --scale full
+    tycos-experiments all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13_sigma, run_fig13_smax, run_fig13_tdmax
+from repro.experiments.table1 import run_table1
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+
+__all__ = ["main"]
+
+
+def _table1(scale: str, seed: int) -> str:
+    if scale == "quick":
+        return run_table1(delays=(0, 60), segment_length=100, seed=seed).to_text()
+    return run_table1(delays=(0, 150), segment_length=150, seed=seed).to_text()
+
+
+def _table3(scale: str, seed: int) -> str:
+    target = 700 if scale == "quick" else 1800
+    return run_table3(target_samples=target, seed=seed).to_text()
+
+
+def _table4(scale: str, seed: int) -> str:
+    sizes = (300, 500) if scale == "quick" else (300, 500, 800, 1200)
+    return run_table4(sizes=sizes, seed=seed).to_text()
+
+
+def _fig9(scale: str, seed: int) -> str:
+    n = 400 if scale == "quick" else 900
+    datasets = ("synthetic1", "energy") if scale == "quick" else None
+    kwargs = {"datasets": datasets} if datasets else {}
+    return run_fig9(n=n, seed=seed, **kwargs).to_text()
+
+
+def _fig10(scale: str, seed: int) -> str:
+    sizes = (250, 400) if scale == "quick" else (300, 500, 800)
+    return run_fig10(sizes=sizes, seed=seed).to_text()
+
+
+def _fig11(scale: str, seed: int) -> str:
+    n = 400 if scale == "quick" else 700
+    return run_fig11(n=n, seed=seed).to_text()
+
+
+def _fig12(scale: str, seed: int) -> str:
+    n = 400 if scale == "quick" else 700
+    return run_fig12(n=n, seed=seed).to_text()
+
+
+def _fig13(scale: str, seed: int) -> str:
+    n = 500 if scale == "quick" else 900
+    parts = [
+        run_fig13_sigma(n=n, seed=seed).to_text(),
+        run_fig13_smax(n=n, seed=seed).to_text(),
+        run_fig13_tdmax(n=n, seed=seed).to_text(),
+    ]
+    return "\n\n".join(parts)
+
+
+EXPERIMENTS: Dict[str, Callable[[str, int], str]] = {
+    "table1": _table1,
+    "table3": _table3,
+    "table4": _table4,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="tycos-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick: minutes on a laptop; full: closer to paper sizes",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="data and search seed")
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        help="also write each artifact to DIR/<name>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = None
+    if args.output:
+        from pathlib import Path
+
+        out_dir = Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        text = EXPERIMENTS[name](args.scale, args.seed)
+        print(text)
+        print(f"[{name} finished in {time.perf_counter() - started:.1f}s]\n")
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

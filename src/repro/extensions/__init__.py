@@ -1,0 +1,40 @@
+"""Extensions: the paper's stated future-work directions, implemented.
+
+* :mod:`repro.extensions.spatial` -- correlations across spatial
+  dimensions (sensor networks, propagation-velocity recovery).
+* :mod:`repro.extensions.causality` -- lead-lag / transfer-entropy
+  direction analysis on extracted windows.
+* :mod:`repro.extensions.recurrence` -- mining recurring correlation
+  patterns (time-of-day bands) from search output.
+* :mod:`repro.extensions.streaming` -- online correlation monitoring
+  built on the Section-7 sliding engine.
+"""
+
+from repro.extensions.causality import (
+    CausalityReport,
+    WindowDirection,
+    analyze_directions,
+)
+from repro.extensions.recurrence import RecurrenceReport, RecurringPattern, mine_recurrence
+from repro.extensions.spatial import (
+    SpatialFinding,
+    SpatialReport,
+    estimate_propagation,
+    spatial_scan,
+)
+from repro.extensions.streaming import CorrelationEvent, StreamingMonitor
+
+__all__ = [
+    "analyze_directions",
+    "CausalityReport",
+    "WindowDirection",
+    "spatial_scan",
+    "estimate_propagation",
+    "SpatialReport",
+    "SpatialFinding",
+    "mine_recurrence",
+    "RecurrenceReport",
+    "RecurringPattern",
+    "StreamingMonitor",
+    "CorrelationEvent",
+]

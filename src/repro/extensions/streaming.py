@@ -1,0 +1,167 @@
+"""Online correlation monitoring over streaming pairs.
+
+TYCOS as shipped is a batch search; IoT deployments, however, watch
+sensors *live*.  This monitor turns the Section-7 sliding engine into an
+online detector: samples arrive one pair at a time, a bank of trailing
+windows at several scales is maintained incrementally (one
+:class:`repro.mi.SlidingKSG` per (scale, delay) lane, each updated in
+O(window) per sample instead of recomputed), and an event is emitted
+whenever a lane's normalized MI crosses the threshold -- with hysteresis,
+so one sustained correlation episode yields one event, not hundreds.
+
+A lane with delay ``d`` pairs ``x[t - d]`` with ``y[t]``: the correlation
+"y lags x by d" completes each pairing the moment the lagging y sample
+arrives, so detection latency is exactly the lag plus the window fill.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mi.entropy import binned_joint_entropy
+from repro.mi.incremental import SlidingKSG
+from repro.mi.normalized import normalize_value
+
+__all__ = ["CorrelationEvent", "StreamingMonitor"]
+
+
+@dataclass(frozen=True)
+class CorrelationEvent:
+    """One detected correlation episode.
+
+    Attributes:
+        time: sample index at which the episode was confirmed.
+        scale: trailing window size of the detecting lane.
+        delay: the lane's delay (y lags x by this many samples).
+        nmi: normalized MI at detection.
+    """
+
+    time: int
+    scale: int
+    delay: int
+    nmi: float
+
+
+@dataclass
+class _Lane:
+    scale: int
+    delay: int
+    engine: SlidingKSG
+    xs: Deque[float]
+    ys: Deque[float]
+    oldest: int = 0  # smallest live point id in the engine
+    active: bool = False
+
+
+class StreamingMonitor:
+    """Multi-scale online detector of lagged correlations.
+
+    Args:
+        scales: trailing window sizes to monitor.
+        delays: delays to monitor (0 = synchronous; positive = y lags x).
+        sigma: normalized-MI threshold that opens an episode.
+        release: threshold that closes it (hysteresis; default
+            ``0.8 * sigma``).
+        k: KSG neighbor count.
+        jitter: magnitude of deterministic de-tying noise added to every
+            pushed sample (integer-valued feeds otherwise break the kNN).
+
+    Usage::
+
+        monitor = StreamingMonitor(scales=(64,), delays=(0, 5), sigma=0.5)
+        for xv, yv in zip(x_feed, y_feed):
+            for event in monitor.push(xv, yv):
+                print("correlated!", event)
+    """
+
+    def __init__(
+        self,
+        scales: Sequence[int] = (64, 128),
+        delays: Sequence[int] = (0,),
+        sigma: float = 0.5,
+        release: Optional[float] = None,
+        k: int = 4,
+        jitter: float = 0.0,
+    ):
+        if not scales:
+            raise ValueError("need at least one scale")
+        if not delays:
+            raise ValueError("need at least one delay")
+        if sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {sigma}")
+        if any(s < k + 2 for s in scales):
+            raise ValueError(f"every scale must be >= k+2={k + 2}")
+        if any(d < 0 for d in delays):
+            raise ValueError("delays must be >= 0 (y lagging x)")
+        self.sigma = sigma
+        self.release = release if release is not None else 0.8 * sigma
+        self.k = k
+        self.jitter = jitter
+        self._rng = np.random.default_rng(0)
+        self._time = -1
+        self._x_history: Deque[float] = deque(maxlen=max(delays) + 1)
+        self._lanes: List[_Lane] = [
+            _Lane(
+                scale=s,
+                delay=d,
+                engine=SlidingKSG(k=k),
+                xs=deque(maxlen=s),
+                ys=deque(maxlen=s),
+            )
+            for s in scales
+            for d in delays
+        ]
+        self.events: List[CorrelationEvent] = []
+
+    @property
+    def time(self) -> int:
+        """Index of the last pushed sample (-1 before the first)."""
+        return self._time
+
+    def push(self, x_value: float, y_value: float) -> List[CorrelationEvent]:
+        """Feed one sample pair; returns the events confirmed at this step."""
+        self._time += 1
+        x_value = float(x_value)
+        y_value = float(y_value)
+        if self.jitter > 0.0:
+            x_value += self.jitter * float(self._rng.normal())
+            y_value += self.jitter * float(self._rng.normal())
+        self._x_history.append(x_value)
+        emitted: List[CorrelationEvent] = []
+        for lane in self._lanes:
+            if self._time < lane.delay:
+                continue  # the pairing x[t-d] does not exist yet
+            x_paired = self._x_history[-1 - lane.delay]
+            lane.xs.append(x_paired)
+            lane.ys.append(y_value)
+            lane.engine.add(self._time, x_paired, y_value)
+            if len(lane.engine) == 1:
+                lane.oldest = self._time
+            while len(lane.engine) > lane.scale:
+                lane.engine.remove(lane.oldest)
+                lane.oldest += 1
+            event = self._lane_check(lane)
+            if event is not None:
+                emitted.append(event)
+        self.events.extend(emitted)
+        return emitted
+
+    def _lane_check(self, lane: _Lane) -> Optional[CorrelationEvent]:
+        if len(lane.engine) < lane.scale:
+            return None
+        mi = lane.engine.mi()
+        xs = np.asarray(lane.xs)
+        ys = np.asarray(lane.ys)
+        nmi = normalize_value(mi, binned_joint_entropy(xs, ys))
+        if not lane.active and nmi >= self.sigma:
+            lane.active = True
+            return CorrelationEvent(
+                time=self._time, scale=lane.scale, delay=lane.delay, nmi=nmi
+            )
+        if lane.active and nmi < self.release:
+            lane.active = False
+        return None

@@ -1,0 +1,62 @@
+"""Mutual information substrate for TYCOS.
+
+This package implements, from scratch, everything the TYCOS search needs to
+quantify statistical dependence between two windows of time series data:
+
+* :mod:`repro.mi.ksg` -- the Kraskov--Stoegbauer--Grassberger (KSG) k-nearest
+  neighbor MI estimator (paper Eq. 2 / Eq. 3).
+* :mod:`repro.mi.neighbors` -- max-norm k-nearest-neighbor search backends
+  (vectorized brute force and a uniform grid index) plus marginal counting.
+* :mod:`repro.mi.entropy` -- plug-in discrete entropy, binned continuous
+  entropy and the Kozachenko--Leonenko differential entropy estimator.
+* :mod:`repro.mi.normalized` -- the normalized MI of paper Eq. (18) used to
+  set the correlation threshold sigma on a [0, 1] scale.
+* :mod:`repro.mi.discrete` -- exact plug-in discrete MI (paper Eq. 1).
+* :mod:`repro.mi.mixture` -- mixture distributions (Def. 6.1) and empirical
+  verification helpers for the noise theorem (Theorem 6.1).
+* :mod:`repro.mi.incremental` -- the Section 7 incremental KSG engine based
+  on influenced regions (IR) and influenced marginal regions (IMR).
+* :mod:`repro.mi.kdtree` -- the k-d tree neighbor backend the paper's
+  Lemma-2 analysis invokes (Bentley 1975).
+* :mod:`repro.mi.histogram` / :mod:`repro.mi.kde` -- the classical MI
+  estimators the paper's Section 3.1 compares KSG against.
+"""
+
+from repro.mi.discrete import discrete_entropy_from_joint, discrete_mi, empirical_joint
+from repro.mi.entropy import binned_joint_entropy, discrete_entropy, kl_entropy
+from repro.mi.histogram import histogram_mi
+from repro.mi.incremental import SlidingKSG
+from repro.mi.kde import kde_mi
+from repro.mi.kdtree import KDTree, chebyshev_knn_kdtree
+from repro.mi.ksg import KSGEstimator, ksg_mi
+from repro.mi.mixture import mix_samples, theorem61_gap
+from repro.mi.neighbors import (
+    GridIndex,
+    chebyshev_knn_bruteforce,
+    chebyshev_knn_grid,
+    marginal_counts,
+)
+from repro.mi.normalized import normalized_mi
+
+__all__ = [
+    "KSGEstimator",
+    "ksg_mi",
+    "histogram_mi",
+    "kde_mi",
+    "SlidingKSG",
+    "KDTree",
+    "chebyshev_knn_kdtree",
+    "GridIndex",
+    "chebyshev_knn_bruteforce",
+    "chebyshev_knn_grid",
+    "marginal_counts",
+    "discrete_entropy",
+    "binned_joint_entropy",
+    "kl_entropy",
+    "discrete_mi",
+    "discrete_entropy_from_joint",
+    "empirical_joint",
+    "mix_samples",
+    "theorem61_gap",
+    "normalized_mi",
+]

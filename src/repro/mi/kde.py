@@ -1,0 +1,70 @@
+"""Kernel density estimation (KDE) mutual information estimator.
+
+The second classical estimator of the paper's Section-3.1 comparison:
+estimate the joint and marginal densities with Gaussian kernels and
+average ``log[ f(x,y) / (f(x) f(y)) ]`` over the sample (the resubstitution
+estimator).  Accurate on smooth densities but O(m^2) per evaluation with a
+bandwidth that must be tuned -- the reasons the paper prefers KSG.
+
+Bandwidths follow Silverman's rule per dimension; the joint estimate uses
+a product kernel with the same per-dimension bandwidths so that the
+marginal and joint estimates are mutually consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kde_mi", "silverman_bandwidth"]
+
+
+def silverman_bandwidth(values: np.ndarray) -> float:
+    """Silverman's rule-of-thumb bandwidth for a 1-D Gaussian KDE."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size < 2:
+        raise ValueError(f"need at least 2 samples, got {values.size}")
+    spread = values.std()
+    iqr = np.subtract(*np.percentile(values, [75, 25]))
+    scale = min(spread, iqr / 1.349) if iqr > 0 else spread
+    if scale <= 0:
+        scale = max(abs(values).max(), 1.0) * 1e-3
+    return float(0.9 * scale * values.size ** (-0.2))
+
+
+def _gaussian_kde_1d(values: np.ndarray, h: float) -> np.ndarray:
+    """Leave-none-out resubstitution density of each sample point."""
+    diffs = (values[:, None] - values[None, :]) / h
+    kernel = np.exp(-0.5 * diffs * diffs)
+    return kernel.sum(axis=1) / (values.size * h * np.sqrt(2 * np.pi))
+
+
+def kde_mi(x: np.ndarray, y: np.ndarray, bandwidth_scale: float = 1.0) -> float:
+    """KDE (resubstitution) estimate of I(X; Y) in nats.
+
+    Args:
+        x: samples of the first variable.
+        y: paired samples of the second variable.
+        bandwidth_scale: multiplier on the Silverman bandwidths (sweeping
+            it exposes the estimator's bandwidth sensitivity).
+
+    Returns:
+        ``mean log[ f(x,y) / (f(x) f(y)) ]`` over the sample.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.size != y.size:
+        raise ValueError(f"x and y must have equal length, got {x.size} and {y.size}")
+    if x.size < 4:
+        raise ValueError(f"need at least 4 samples, got {x.size}")
+    if bandwidth_scale <= 0:
+        raise ValueError(f"bandwidth_scale must be > 0, got {bandwidth_scale}")
+    hx = silverman_bandwidth(x) * bandwidth_scale
+    hy = silverman_bandwidth(y) * bandwidth_scale
+    fx = _gaussian_kde_1d(x, hx)
+    fy = _gaussian_kde_1d(y, hy)
+    dx = (x[:, None] - x[None, :]) / hx
+    dy = (y[:, None] - y[None, :]) / hy
+    kernel = np.exp(-0.5 * (dx * dx + dy * dy))
+    fxy = kernel.sum(axis=1) / (x.size * hx * hy * 2 * np.pi)
+    tiny = np.finfo(np.float64).tiny
+    return float(np.mean(np.log(np.maximum(fxy, tiny)) - np.log(np.maximum(fx * fy, tiny))))

@@ -1,0 +1,81 @@
+"""Tests for window consolidation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.consolidate import consolidate_windows
+from repro.core.config import TycosConfig
+from repro.core.results import WindowResult
+from repro.core.tycos import tycos_lmn
+from repro.core.window import TimeDelayWindow
+
+
+def _res(start, end, delay=4, nmi=0.7):
+    return WindowResult(window=TimeDelayWindow(start, end, delay), mi=nmi, nmi=nmi)
+
+
+class TestConsolidateWindows:
+    def test_adjacent_same_delay_merged(self):
+        fragments = [_res(10, 30), _res(31, 50), _res(48, 70)]
+        merged = consolidate_windows(fragments)
+        assert len(merged) == 1
+        assert merged[0].window == TimeDelayWindow(10, 70, delay=4)
+
+    def test_different_delays_kept_apart(self):
+        fragments = [_res(10, 30, delay=4), _res(31, 50, delay=20)]
+        merged = consolidate_windows(fragments, delay_tol=2)
+        assert len(merged) == 2
+
+    def test_delay_tolerance(self):
+        fragments = [_res(10, 30, delay=4), _res(31, 50, delay=6)]
+        assert len(consolidate_windows(fragments, delay_tol=2)) == 1
+        assert len(consolidate_windows(fragments, delay_tol=1)) == 2
+
+    def test_gap_tolerance(self):
+        fragments = [_res(10, 30), _res(36, 50)]
+        assert len(consolidate_windows(fragments, gap_tol=0)) == 2
+        assert len(consolidate_windows(fragments, gap_tol=5)) == 1
+
+    def test_strongest_fragment_sets_delay(self):
+        fragments = [_res(10, 30, delay=4, nmi=0.5), _res(31, 50, delay=5, nmi=0.9)]
+        merged = consolidate_windows(fragments, delay_tol=2)
+        assert merged[0].window.delay == 5
+
+    def test_rescoring_on_series(self, rng):
+        n = 200
+        x = rng.uniform(0, 1, n)
+        y = rng.uniform(0, 1, n)
+        seg = rng.uniform(0, 1, 80)
+        x[50:130] = seg
+        y[54:134] = seg + 0.01 * rng.normal(size=80)
+        fragments = [_res(50, 89, delay=4), _res(90, 129, delay=4)]
+        merged = consolidate_windows(fragments, x=x, y=y)
+        assert len(merged) == 1
+        # Re-scored on the full extent of a strong relation: high nmi.
+        assert merged[0].nmi > 0.8
+
+    def test_end_to_end_reduces_fragmentation(self, rng):
+        n = 500
+        x = rng.uniform(0, 1, n)
+        y = rng.uniform(0, 1, n)
+        seg = rng.uniform(0, 1, 150)
+        x[150:300] = seg
+        y[154:304] = seg + 0.01 * rng.normal(size=150)
+        cfg = TycosConfig(
+            sigma=0.5, s_min=20, s_max=200, td_max=6,
+            init_delay_step=1, significance_permutations=10, seed=0,
+        )
+        result = tycos_lmn(cfg).search(x, y)
+        merged = consolidate_windows(result.windows, x=x, y=y)
+        assert 1 <= len(merged) <= len(result.windows)
+
+    def test_empty_input(self):
+        assert consolidate_windows([]) == []
+
+    def test_rejects_half_series(self, rng):
+        with pytest.raises(ValueError, match="both x and y"):
+            consolidate_windows([_res(0, 10)], x=rng.normal(size=20))
+
+    def test_rejects_negative_tolerances(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            consolidate_windows([_res(0, 10)], delay_tol=-1)

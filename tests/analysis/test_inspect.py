@@ -1,0 +1,72 @@
+"""Tests for window inspection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.inspect import ascii_scatter, inspect_window
+from repro.core.window import TimeDelayWindow
+
+
+class TestAsciiScatter:
+    def test_dimensions(self, rng):
+        plot = ascii_scatter(rng.normal(size=100), rng.normal(size=100), width=30, height=10)
+        lines = plot.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 borders
+        assert all(len(line) == 32 for line in lines)
+
+    def test_diagonal_relation_renders_diagonally(self):
+        x = np.linspace(0, 1, 200)
+        plot = ascii_scatter(x, x, width=20, height=20)
+        lines = plot.splitlines()[1:-1]  # strip borders
+        # Top row (largest y) has marks on the right, bottom row on the left.
+        top = lines[0]
+        bottom = lines[-1]
+        assert top.rstrip("|").rstrip().endswith(("#", "*", ":", "."))
+        assert bottom[1:].lstrip("|").startswith(("#", "*", ":", "."))
+
+    def test_constant_input(self):
+        plot = ascii_scatter(np.ones(10), np.ones(10))
+        assert "#" in plot  # all mass in one cell
+
+    def test_rejects_bad_dims(self, rng):
+        with pytest.raises(ValueError, match=">= 2"):
+            ascii_scatter(rng.normal(size=10), rng.normal(size=10), width=1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ascii_scatter(np.empty(0), np.empty(0))
+
+
+class TestInspectWindow:
+    def test_nonlinear_signature(self, rng):
+        # Quadratic dependence: high nmi, near-zero Pearson.
+        n = 300
+        x = rng.uniform(-1, 1, n)
+        y = x * x + 0.01 * rng.normal(size=n)
+        window = TimeDelayWindow(0, n - 1)
+        inspection = inspect_window(x, y, window)
+        assert inspection.nmi > 0.4
+        assert abs(inspection.pearson) < 0.3
+        assert "non-linear" in inspection.to_text()
+
+    def test_linear_signature(self, rng):
+        n = 300
+        x = rng.uniform(0, 1, n)
+        y = 2 * x + 0.01 * rng.normal(size=n)
+        inspection = inspect_window(x, y, TimeDelayWindow(0, n - 1))
+        assert inspection.pearson > 0.95
+        assert "linear-ish" in inspection.to_text()
+
+    def test_delayed_window_extraction(self, rng):
+        n = 200
+        x = rng.uniform(0, 1, n)
+        y = np.empty(n)
+        y[5:] = x[:-5]
+        y[:5] = rng.uniform(0, 1, 5)
+        inspection = inspect_window(x, y, TimeDelayWindow(20, 150, delay=5))
+        assert inspection.nmi > 0.5
+
+    def test_estimators_agree_in_ballpark(self, correlated_gaussian):
+        x, y = correlated_gaussian
+        inspection = inspect_window(x, y, TimeDelayWindow(0, x.size - 1))
+        assert inspection.ksg_mi == pytest.approx(inspection.histogram_mi, abs=0.25)

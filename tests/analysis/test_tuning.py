@@ -1,0 +1,82 @@
+"""Tests for the sigma tuning utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tuning import SigmaSweep, SigmaSweepPoint, sigma_sweep, suggest_sigma
+from repro.core.config import TycosConfig
+
+
+def _sweep_from_counts(counts):
+    sigmas = np.linspace(0.1, 0.6, len(counts))
+    return SigmaSweep(
+        points=[
+            SigmaSweepPoint(sigma=float(s), windows=int(c), mean_nmi=0.5, runtime_seconds=0.1)
+            for s, c in zip(sigmas, counts)
+        ]
+    )
+
+
+class TestSuggestSigma:
+    def test_knee_of_plateauing_curve(self):
+        # Counts collapse 50 -> 12 -> 10 -> 10: the cheapest sigma already
+        # within tolerance of the strictest count is the second point.
+        sweep = _sweep_from_counts([50, 12, 10, 10])
+        sigma, _ = suggest_sigma(sweep)
+        assert sigma == pytest.approx(sweep.points[1].sigma)
+
+    def test_steadily_halving_curve_picks_near_the_end(self):
+        sweep = _sweep_from_counts([64, 32, 16, 8])
+        sigma, _ = suggest_sigma(sweep, stability=0.25)
+        assert sigma == pytest.approx(sweep.points[-1].sigma)
+
+    def test_gentle_decline_does_not_stop_at_start(self):
+        # 18 -> 14 -> 9 -> 8 -> 6 -> 5: the weak tail must be cut; the
+        # suggestion lands in the stable back half, never at the first point.
+        sweep = _sweep_from_counts([18, 14, 9, 8, 6, 5])
+        sigma, _ = suggest_sigma(sweep)
+        assert sigma >= sweep.points[3].sigma
+
+    def test_all_zero_curve(self):
+        sweep = _sweep_from_counts([0, 0])
+        sigma, _ = suggest_sigma(sweep)
+        assert sigma == pytest.approx(sweep.points[0].sigma)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match="empty sweep"):
+            suggest_sigma(SigmaSweep())
+
+    def test_single_point(self):
+        sweep = _sweep_from_counts([5])
+        sigma, _ = suggest_sigma(sweep)
+        assert sigma == pytest.approx(sweep.points[0].sigma)
+
+
+class TestSigmaSweep:
+    def test_counts_monotone_on_real_search(self, rng):
+        x = rng.uniform(0, 1, 400)
+        y = rng.uniform(0, 1, 400)
+        seg = rng.uniform(0, 1, 120)
+        x[150:270] = seg
+        y[150:270] = seg + 0.01 * rng.normal(size=120)
+        config = TycosConfig(sigma=0.3, s_min=20, s_max=160, td_max=2, seed=0)
+        sweep = sigma_sweep(x, y, config, sigmas=(0.2, 0.5, 0.9))
+        counts = sweep.counts()
+        assert counts[0] >= counts[-1]
+        assert len(sweep.points) == 3
+
+    def test_subsample_limits_work(self, rng):
+        x = rng.uniform(0, 1, 500)
+        y = rng.uniform(0, 1, 500)
+        config = TycosConfig(sigma=0.3, s_min=20, s_max=80, td_max=1, seed=0)
+        sweep = sigma_sweep(x, y, config, sigmas=(0.5,), subsample=120)
+        assert sweep.points[0].windows >= 0  # ran on the truncated pair
+
+    def test_unsorted_sigmas_rejected(self, rng):
+        config = TycosConfig(sigma=0.3, s_min=20, s_max=80, td_max=1)
+        with pytest.raises(ValueError, match="ascending"):
+            sigma_sweep(rng.normal(size=100), rng.normal(size=100), config, sigmas=(0.5, 0.2))
+
+    def test_rendering(self):
+        text = _sweep_from_counts([5, 3]).to_text()
+        assert "Sigma sweep" in text

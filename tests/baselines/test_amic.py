@@ -1,0 +1,80 @@
+"""Tests for the AMIC top-down baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.amic import amic_search
+from repro.core.config import TycosConfig
+from repro.core.window import TimeDelayWindow
+from repro.experiments.similarity import detects
+
+
+def _config(**kwargs):
+    defaults = dict(sigma=0.35, s_min=16, s_max=128, td_max=0, significance_permutations=0)
+    defaults.update(kwargs)
+    return TycosConfig(**defaults)
+
+
+def _pair_with_relation(rng, n=512, start=128, m=128, delay=0):
+    x = rng.uniform(0, 1, n)
+    y = rng.uniform(0, 1, n)
+    seg = rng.uniform(0, 1, m)
+    x[start : start + m] = seg
+    y[start + delay : start + delay + m] = np.cos(5 * seg) / 2 + 0.5 + 0.02 * rng.normal(size=m)
+    return x, y
+
+
+class TestAmic:
+    def test_finds_aligned_relation(self, rng):
+        x, y = _pair_with_relation(rng)
+        result = amic_search(x, y, _config())
+        truth = TimeDelayWindow(128, 255)
+        assert detects([r.window for r in result.windows], truth)
+
+    def test_all_windows_zero_delay(self, rng):
+        x, y = _pair_with_relation(rng)
+        result = amic_search(x, y, _config())
+        assert result.windows
+        assert all(r.window.delay == 0 for r in result.windows)
+
+    def test_blind_to_delayed_relation(self, rng):
+        # The paper's central AMIC limitation: shift the echo and the
+        # zero-delay windows see nothing.
+        x, y = _pair_with_relation(rng, delay=140, n=640)
+        result = amic_search(x, y, _config(sigma=0.3))
+        truth = TimeDelayWindow(128, 255, delay=140)
+        assert not detects([r.window for r in result.windows], truth, delay_tol=10)
+
+    def test_silent_on_noise(self, rng):
+        x = rng.uniform(0, 1, 400)
+        y = rng.uniform(0, 1, 400)
+        result = amic_search(x, y, _config(sigma=0.6))
+        assert len(result.windows) == 0
+
+    def test_respects_size_bounds(self, rng):
+        x, y = _pair_with_relation(rng)
+        cfg = _config()
+        result = amic_search(x, y, cfg)
+        for r in result.windows:
+            assert cfg.s_min <= r.window.size <= cfg.s_max
+
+    def test_stats_recorded(self, rng):
+        x, y = _pair_with_relation(rng)
+        result = amic_search(x, y, _config())
+        assert result.stats.windows_evaluated > 0
+        assert result.stats.runtime_seconds > 0
+
+    def test_multiscale_descends_to_smaller_windows(self, rng):
+        # Two short relations far apart force the recursion below the top
+        # levels.
+        n = 512
+        x = rng.uniform(0, 1, n)
+        y = rng.uniform(0, 1, n)
+        for start in (64, 384):
+            seg = rng.uniform(0, 1, 64)
+            x[start : start + 64] = seg
+            y[start : start + 64] = seg + 0.01 * rng.normal(size=64)
+        result = amic_search(x, y, _config())
+        found = [r.window for r in result.windows]
+        assert detects(found, TimeDelayWindow(64, 127))
+        assert detects(found, TimeDelayWindow(384, 447))

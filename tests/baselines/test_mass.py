@@ -1,0 +1,78 @@
+"""Tests for the MASS subsequence search baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mass import mass_distance_profile, mass_top_matches
+
+
+def _znorm_dist(q, s):
+    q = (q - q.mean()) / q.std()
+    s = (s - s.mean()) / s.std()
+    return np.sqrt(np.sum((q - s) ** 2))
+
+
+class TestDistanceProfile:
+    def test_matches_naive_computation(self, rng):
+        series = rng.normal(size=200)
+        query = rng.normal(size=25)
+        profile = mass_distance_profile(query, series)
+        assert profile.size == 176
+        for pos in (0, 50, 175):
+            expected = _znorm_dist(query, series[pos : pos + 25])
+            assert profile[pos] == pytest.approx(expected, abs=1e-6)
+
+    def test_exact_match_is_zero(self, rng):
+        series = rng.normal(size=300)
+        query = series[120:160].copy()
+        profile = mass_distance_profile(query, series)
+        assert profile[120] == pytest.approx(0.0, abs=1e-5)
+        assert np.argmin(profile) == 120
+
+    def test_affine_invariance(self, rng):
+        # z-normalization absorbs scale and offset: a scaled copy matches.
+        series = rng.normal(size=300)
+        query = 5.0 * series[80:120] - 3.0
+        profile = mass_distance_profile(query, series)
+        assert profile[80] == pytest.approx(0.0, abs=1e-5)
+
+    def test_flat_query_handled(self):
+        profile = mass_distance_profile(np.ones(10), np.arange(50.0))
+        np.testing.assert_allclose(profile, np.sqrt(20.0))
+
+    def test_flat_subsequence_handled(self, rng):
+        series = np.concatenate([np.ones(30), rng.normal(size=50)])
+        profile = mass_distance_profile(rng.normal(size=10), series)
+        assert np.all(np.isfinite(profile))
+
+    def test_rejects_query_longer_than_series(self, rng):
+        with pytest.raises(ValueError, match="at least as long"):
+            mass_distance_profile(rng.normal(size=20), rng.normal(size=10))
+
+    def test_rejects_tiny_query(self, rng):
+        with pytest.raises(ValueError, match="at least 2"):
+            mass_distance_profile(np.array([1.0]), rng.normal(size=10))
+
+
+class TestTopMatches:
+    def test_returns_requested_count(self, rng):
+        series = rng.normal(size=400)
+        matches = mass_top_matches(rng.normal(size=30), series, top=3)
+        assert len(matches) == 3
+        distances = [m.distance for m in matches]
+        assert distances == sorted(distances)
+
+    def test_exclusion_zone_enforced(self, rng):
+        series = rng.normal(size=400)
+        query = series[100:140].copy()
+        matches = mass_top_matches(query, series, top=2)
+        assert abs(matches[0].position - matches[1].position) >= 20
+
+    def test_finds_repeated_motif(self, rng):
+        motif = rng.normal(size=30)
+        series = rng.normal(size=300)
+        series[50:80] = motif
+        series[200:230] = motif + 0.01 * rng.normal(size=30)
+        matches = mass_top_matches(motif, series, top=2)
+        positions = sorted(m.position for m in matches)
+        assert positions == [50, 200]

@@ -1,0 +1,83 @@
+"""Tests for the STOMP matrix profile baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mass import mass_distance_profile
+from repro.baselines.matrix_profile import matrix_profile_ab, matrix_profile_scan
+
+
+class TestStompCorrectness:
+    def test_equals_repeated_mass(self, rng):
+        # STOMP's O(1) update must reproduce a fresh MASS pass per row.
+        a = rng.normal(size=120)
+        b = rng.normal(size=150)
+        m = 20
+        profile, index = matrix_profile_ab(a, b, m)
+        for i in range(0, 101, 10):
+            reference = mass_distance_profile(a[i : i + m], b)
+            assert profile[i] == pytest.approx(reference.min(), abs=1e-6)
+            assert reference[index[i]] == pytest.approx(reference.min(), abs=1e-6)
+
+    def test_planted_cross_match(self, rng):
+        a = rng.normal(size=200)
+        b = rng.normal(size=200)
+        shape = rng.normal(size=30)
+        a[40:70] = shape
+        b[120:150] = 2.0 * shape + 1.0  # affine copy at an offset
+        profile, index = matrix_profile_ab(a, b, 30)
+        assert profile[40] == pytest.approx(0.0, abs=1e-5)
+        assert index[40] == 120
+
+    def test_rejects_small_m(self, rng):
+        with pytest.raises(ValueError, match="m must be"):
+            matrix_profile_ab(rng.normal(size=50), rng.normal(size=50), 1)
+
+    def test_rejects_short_series(self, rng):
+        with pytest.raises(ValueError, match="at least m"):
+            matrix_profile_ab(rng.normal(size=5), rng.normal(size=50), 10)
+
+    def test_handles_flat_regions(self, rng):
+        a = np.concatenate([np.zeros(40), rng.normal(size=60)])
+        b = np.concatenate([rng.normal(size=60), np.zeros(40)])
+        profile, _ = matrix_profile_ab(a, b, 15)
+        assert np.all(np.isfinite(profile))
+
+
+class TestScan:
+    def test_detects_delayed_linear_relation(self, rng):
+        # The Table-1 claim: MatrixProfile sees linear relations even when
+        # the echo is shifted, because the join searches all offsets.
+        n = 300
+        a = rng.normal(size=n)
+        b = rng.normal(size=n)
+        seg = rng.normal(size=60)
+        a[50:110] = seg
+        b[130:190] = 3.0 * seg + 0.005 * rng.normal(size=60)
+        matches = matrix_profile_scan(a, b, lengths=(30,), threshold_factor=0.15)
+        assert any(50 <= m.start_a <= 80 and abs(m.delay - 80) <= 5 for m in matches)
+
+    def test_misses_nonlinear_relation(self, rng):
+        # ... and the complementary claim: a quadratic echo has a different
+        # shape, so no match survives a tight threshold.
+        n = 300
+        a = rng.normal(size=n)
+        b = rng.normal(size=n)
+        seg = rng.uniform(-2, 2, 60)
+        a[50:110] = seg
+        b[50:110] = seg**2
+        matches = matrix_profile_scan(a, b, lengths=(30,), threshold_factor=0.15)
+        assert not any(40 <= m.start_a <= 110 for m in matches)
+
+    def test_multiple_lengths_scanned(self, rng):
+        a = rng.normal(size=200)
+        b = a + 0.001 * rng.normal(size=200)
+        matches = matrix_profile_scan(a, b, lengths=(16, 32), threshold_factor=0.2)
+        assert {m.length for m in matches} == {16, 32}
+
+    def test_matches_sorted_by_relative_distance(self, rng):
+        a = rng.normal(size=200)
+        b = a + 0.01 * rng.normal(size=200)
+        matches = matrix_profile_scan(a, b, lengths=(16, 32), threshold_factor=0.3)
+        rel = [m.distance / np.sqrt(2 * m.length) for m in matches]
+        assert rel == sorted(rel)

@@ -1,0 +1,97 @@
+"""Tests for the PCC baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pearson import pcc, pcc_scan, sliding_pcc
+
+
+class TestPcc:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pcc(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pcc(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self, independent_pair):
+        x, y = independent_pair
+        assert abs(pcc(x, y)) < 0.1
+
+    def test_blind_to_symmetric_nonlinear(self, rng):
+        # The classic failure: y = x^2 on symmetric x has r ~ 0.
+        x = rng.uniform(-1, 1, 2000)
+        assert abs(pcc(x, x * x)) < 0.1
+
+    def test_degenerate_input_returns_zero(self):
+        assert pcc(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            pcc(np.array([1.0]), np.array([1.0]))
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_property_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=50)
+        y = rng.normal(size=50)
+        assert -1.0 <= pcc(x, y) <= 1.0
+
+
+class TestSlidingPcc:
+    def test_matches_pointwise_pcc(self, rng):
+        x = rng.normal(size=100)
+        y = rng.normal(size=100)
+        coeffs = sliding_pcc(x, y, window=20)
+        for s in range(0, 81, 13):
+            assert coeffs[s] == pytest.approx(pcc(x[s : s + 20], y[s : s + 20]), abs=1e-9)
+
+    def test_delay_alignment(self, rng):
+        x = rng.normal(size=200)
+        y = np.roll(x, 7)  # y[i] = x[i - 7] -> x leads y by 7
+        coeffs = sliding_pcc(x, y, window=30, delay=7)
+        assert np.abs(coeffs[:150]).max() == pytest.approx(1.0, abs=1e-9)
+
+    def test_negative_delay(self, rng):
+        x = rng.normal(size=200)
+        y = np.roll(x, -5)
+        coeffs = sliding_pcc(x, y, window=30, delay=-5)
+        assert np.abs(coeffs[10:150]).max() == pytest.approx(1.0, abs=1e-9)
+
+    def test_window_too_large_returns_empty(self, rng):
+        assert sliding_pcc(rng.normal(size=10), rng.normal(size=10), window=20).size == 0
+
+    def test_rejects_window_below_two(self, rng):
+        with pytest.raises(ValueError, match="window"):
+            sliding_pcc(rng.normal(size=10), rng.normal(size=10), window=1)
+
+
+class TestPccScan:
+    def test_locates_delayed_linear_segment(self, rng):
+        n = 400
+        x = rng.normal(size=n)
+        y = rng.normal(size=n)
+        seg = rng.normal(size=80)
+        x[100:180] = seg
+        y[120:200] = 3 * seg + 0.05 * rng.normal(size=80)
+        hits = pcc_scan(x, y, window=40, td_max=25, threshold=0.9)
+        assert hits
+        best = max(hits, key=lambda h: abs(h.coefficient))
+        assert best.delay == 20
+        assert 90 <= best.start <= 150
+
+    def test_no_hits_on_noise(self, independent_pair):
+        x, y = independent_pair
+        assert pcc_scan(x, y, window=50, td_max=3, threshold=0.95) == []
+
+    def test_picked_windows_non_overlapping(self, rng):
+        x = np.sin(np.linspace(0, 20, 300))
+        y = np.sin(np.linspace(0, 20, 300))
+        hits = pcc_scan(x, y, window=30, td_max=0, threshold=0.8)
+        for i, a in enumerate(hits):
+            for b in hits[i + 1 :]:
+                assert a.end < b.start or b.end < a.start

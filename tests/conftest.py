@@ -1,0 +1,26 @@
+"""Shared fixtures for the TYCOS reproduction test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def correlated_gaussian(rng):
+    """A (x, y) pair with rho=0.8 and known MI = -0.5*ln(1-rho^2)."""
+    n = 600
+    x = rng.normal(size=n)
+    y = 0.8 * x + 0.6 * rng.normal(size=n)
+    return x, y
+
+
+@pytest.fixture
+def independent_pair(rng):
+    """Two independent Gaussian series."""
+    n = 600
+    return rng.normal(size=n), rng.normal(size=n)

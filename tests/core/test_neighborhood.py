@@ -1,0 +1,100 @@
+"""Tests for delta-neighborhood generation (Definitions 5.1 / 5.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.neighborhood import neighborhood
+from repro.core.window import TimeDelayWindow
+
+
+def _mid_window():
+    return TimeDelayWindow(start=50, end=80, delay=0)
+
+
+class TestRingStructure:
+    def test_n1_has_26_neighbors_unconstrained(self):
+        # Fig. 5: the 1-neighborhood is the 26-window shell of a 3x3x3 cube.
+        nbs = neighborhood(_mid_window(), radius=1, delta=1, n=1000, s_min=5, s_max=100, td_max=50)
+        assert len(nbs) == 26
+
+    def test_n2_shell_size_unconstrained(self):
+        # (2r+1)^3 - (2r-1)^3 = 98 for r=2.
+        nbs = neighborhood(_mid_window(), radius=2, delta=1, n=1000, s_min=5, s_max=100, td_max=50)
+        assert len(nbs) == 98
+
+    def test_all_neighbors_feasible(self):
+        n, s_min, s_max, td = 200, 10, 50, 5
+        nbs = neighborhood(_mid_window(), radius=3, delta=2, n=n, s_min=s_min, s_max=s_max, td_max=td)
+        for nb in nbs:
+            assert nb.window.is_feasible(n, s_min, s_max, td)
+
+    def test_neighbors_differ_by_exactly_radius_steps(self):
+        w = _mid_window()
+        delta = 3
+        for nb in neighborhood(w, radius=2, delta=delta, n=1000, s_min=5, s_max=200, td_max=50):
+            offs = (
+                (nb.window.start - w.start) // delta,
+                (nb.window.end - w.end) // delta,
+                (nb.window.delay - w.delay) // delta,
+            )
+            assert max(abs(o) for o in offs) == 2
+
+    def test_direction_is_sign_vector(self):
+        w = _mid_window()
+        for nb in neighborhood(w, radius=1, delta=2, n=1000, s_min=5, s_max=100, td_max=50):
+            expected = (
+                (nb.window.start > w.start) - (nb.window.start < w.start),
+                (nb.window.end > w.end) - (nb.window.end < w.end),
+                (nb.window.delay > w.delay) - (nb.window.delay < w.delay),
+            )
+            assert nb.direction == expected
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError, match="radius"):
+            neighborhood(_mid_window(), radius=0, delta=1, n=100, s_min=5, s_max=50, td_max=5)
+
+
+class TestBlocking:
+    def test_blocked_axis_direction_removes_all_matching(self):
+        w = _mid_window()
+        blocked = frozenset({(0, 1, 0)})  # no end-growing moves
+        nbs = neighborhood(w, radius=1, delta=1, n=1000, s_min=5, s_max=100, td_max=50, blocked=blocked)
+        assert all(nb.window.end <= w.end for nb in nbs)
+        # 9 of the 26 moves grow the end.
+        assert len(nbs) == 26 - 9
+
+    def test_blocking_two_directions(self):
+        w = _mid_window()
+        blocked = frozenset({(0, 1, 0), (-1, 0, 0)})
+        nbs = neighborhood(w, radius=1, delta=1, n=1000, s_min=5, s_max=100, td_max=50, blocked=blocked)
+        for nb in nbs:
+            assert nb.window.end <= w.end
+            assert nb.window.start >= w.start
+
+    def test_empty_blocked_set_changes_nothing(self):
+        w = _mid_window()
+        a = neighborhood(w, radius=1, delta=1, n=1000, s_min=5, s_max=100, td_max=50)
+        b = neighborhood(w, radius=1, delta=1, n=1000, s_min=5, s_max=100, td_max=50, blocked=frozenset())
+        assert len(a) == len(b)
+
+
+class TestBoundaryClipping:
+    def test_near_series_start(self):
+        w = TimeDelayWindow(0, 10, delay=0)
+        nbs = neighborhood(w, radius=1, delta=1, n=100, s_min=5, s_max=20, td_max=3)
+        assert all(nb.window.start >= 0 for nb in nbs)
+
+    def test_near_series_end(self):
+        w = TimeDelayWindow(90, 99, delay=0)
+        nbs = neighborhood(w, radius=1, delta=1, n=100, s_min=5, s_max=20, td_max=3)
+        assert all(nb.window.end < 100 for nb in nbs)
+        assert all(nb.window.y_end < 100 for nb in nbs)
+
+    @given(st.integers(0, 80), st.integers(5, 30), st.integers(-5, 5), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_property_feasibility_always_holds(self, start, size, delay, radius):
+        n, s_min, s_max, td = 120, 5, 40, 6
+        w = TimeDelayWindow(start, min(start + size, n - 1), delay)
+        for nb in neighborhood(w, radius=radius, delta=2, n=n, s_min=s_min, s_max=s_max, td_max=td):
+            assert nb.window.is_feasible(n, s_min, s_max, td)

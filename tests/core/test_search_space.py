@@ -1,0 +1,63 @@
+"""Tests for the search space (Lemma 1 / Eq. 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.search_space import enumerate_feasible, exact_count, paper_count
+
+
+class TestPaperCount:
+    def test_lemma1_worked_example(self):
+        # The paper: n=9000, s in [20, 400], td_max=20 -> 136,870,440 windows.
+        assert paper_count(9000, 20, 400, 20) == 136_870_440
+
+    def test_zero_when_series_too_short(self):
+        assert paper_count(5, 10, 20, 3) == 0
+
+
+class TestExactCount:
+    def test_matches_enumeration_small(self):
+        for n, s_min, s_max, td in [(20, 3, 8, 2), (15, 2, 15, 4), (10, 5, 5, 0)]:
+            enumerated = sum(1 for _ in enumerate_feasible(n, s_min, s_max, td))
+            assert exact_count(n, s_min, s_max, td) == enumerated
+
+    def test_exact_never_exceeds_paper_formula(self):
+        # Eq. (4) over-counts by ignoring boundary effects.
+        for n, s_min, s_max, td in [(50, 5, 20, 4), (100, 10, 40, 8)]:
+            assert exact_count(n, s_min, s_max, td) <= paper_count(n, s_min, s_max, td) + n
+
+    @given(
+        st.integers(min_value=5, max_value=40),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_count_matches_enumeration(self, n, s_min, td):
+        s_max = min(n, s_min + 7)
+        enumerated = sum(1 for _ in enumerate_feasible(n, s_min, s_max, td))
+        assert exact_count(n, s_min, s_max, td) == enumerated
+
+
+class TestEnumeration:
+    def test_all_enumerated_windows_are_feasible(self):
+        n, s_min, s_max, td = 25, 3, 10, 3
+        for w in enumerate_feasible(n, s_min, s_max, td):
+            assert w.is_feasible(n, s_min, s_max, td), w
+
+    def test_no_duplicates(self):
+        windows = list(enumerate_feasible(30, 4, 12, 2))
+        assert len(windows) == len(set(windows))
+
+    def test_zero_delay_only_when_td_zero(self):
+        for w in enumerate_feasible(20, 3, 6, 0):
+            assert w.delay == 0
+
+    def test_rejects_bad_s_min(self):
+        with pytest.raises(ValueError, match="s_min"):
+            list(enumerate_feasible(10, 0, 5, 1))
+
+    def test_scan_order(self):
+        windows = list(enumerate_feasible(12, 3, 5, 1))
+        keys = [(w.start, w.size, w.delay) for w in windows]
+        assert keys == sorted(keys)

@@ -1,0 +1,85 @@
+"""Tests for the time series composer."""
+
+import numpy as np
+import pytest
+
+from repro.data.composer import compose, standard_pair
+from repro.data.relations import relation_names
+from repro.mi.normalized import normalized_mi
+
+
+class TestCompose:
+    def test_ground_truth_recorded(self, rng):
+        pair = compose([("linear", 50, 10), ("sine", 60, -5)], rng, gap=40)
+        assert [p.name for p in pair.planted] == ["linear", "sine"]
+        first, second = pair.planted
+        assert first.window.size == 50
+        assert first.delay == 10
+        assert second.start == first.end + 41
+        assert second.delay == -5
+
+    def test_segments_carry_mi_at_true_delay_only(self, rng):
+        pair = compose([("quadratic", 120, 30)], rng, gap=60)
+        p = pair.planted[0]
+        w = p.window
+        xw = pair.x[w.start : w.end + 1]
+        y_true = pair.y[w.y_start : w.y_end + 1]
+        y_wrong = pair.y[w.start : w.end + 1]
+        assert normalized_mi(xw, y_true) > 0.4
+        assert normalized_mi(xw, y_wrong) < 0.15
+
+    def test_sorted_order_makes_x_monotonic(self, rng):
+        pair = compose([("linear", 50, 0)], rng, gap=30, segment_order="sorted")
+        p = pair.planted[0]
+        xs = pair.x[p.start : p.end + 1]
+        assert np.all(np.diff(xs) >= 0)
+
+    def test_shuffled_order_not_monotonic(self, rng):
+        pair = compose([("linear", 80, 0)], rng, gap=30, segment_order="shuffled")
+        p = pair.planted[0]
+        xs = pair.x[p.start : p.end + 1]
+        assert not np.all(np.diff(xs) >= 0)
+
+    def test_gap_must_exceed_delay(self, rng):
+        with pytest.raises(ValueError, match="gap"):
+            compose([("linear", 50, 100)], rng, gap=50)
+
+    def test_unknown_normalize_mode(self, rng):
+        with pytest.raises(ValueError, match="normalize"):
+            compose([("linear", 50, 0)], rng, normalize="minmax")
+
+    def test_unknown_segment_order(self, rng):
+        with pytest.raises(ValueError, match="segment_order"):
+            compose([("linear", 50, 0)], rng, segment_order="random")
+
+    def test_zscore_mode(self, rng):
+        pair = compose([("linear", 100, 0)], rng, gap=30, normalize="zscore")
+        p = pair.planted[0]
+        xs = pair.x[p.start : p.end + 1]
+        assert xs.mean() == pytest.approx(0.0, abs=1e-9)
+        assert xs.std() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestStandardPair:
+    def test_all_nine_relations_planted(self, rng):
+        pair = standard_pair(rng, segment_length=40, delay=0)
+        assert [p.name for p in pair.planted] == relation_names()
+
+    def test_truth_windows_exclude_independent(self, rng):
+        pair = standard_pair(rng, segment_length=40, delay=0)
+        truths = pair.truth_windows()
+        assert len(truths) == 8  # independent excluded
+
+    def test_delay_applied_to_dependents_only(self, rng):
+        pair = standard_pair(rng, segment_length=40, delay=25)
+        for p in pair.planted:
+            assert p.delay == (25 if p.dependent else 0)
+
+    def test_truth_for(self, rng):
+        pair = standard_pair(rng, segment_length=40)
+        assert len(pair.truth_for("sine")) == 1
+        assert pair.truth_for("sine")[0].name == "sine"
+
+    def test_subset_of_names(self, rng):
+        pair = standard_pair(rng, segment_length=40, names=["linear", "circle"])
+        assert [p.name for p in pair.planted] == ["linear", "circle"]

@@ -1,0 +1,100 @@
+"""Tests for the Table-1 relation generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.relations import RELATIONS, generate_relation, relation_names
+from repro.mi.ksg import ksg_mi
+
+
+class TestCatalog:
+    def test_nine_relations_in_table_order(self):
+        assert relation_names() == [
+            "independent",
+            "linear",
+            "exponential",
+            "quadratic",
+            "circle",
+            "sine",
+            "cross",
+            "quartic",
+            "square_root",
+        ]
+
+    def test_flags_consistent(self):
+        specs = RELATIONS
+        assert not specs["independent"].dependent
+        assert specs["linear"].linear and specs["linear"].monotonic
+        assert not specs["circle"].functional
+        assert not specs["cross"].functional
+        assert specs["exponential"].monotonic and not specs["exponential"].linear
+        assert not specs["sine"].monotonic
+
+    def test_unknown_relation_rejected(self, rng):
+        with pytest.raises(KeyError, match="unknown relation"):
+            generate_relation("cubic", 10, rng)
+
+    def test_bad_size_rejected(self, rng):
+        with pytest.raises(ValueError, match="m must be"):
+            generate_relation("linear", 0, rng)
+
+
+class TestGeneratedShapes:
+    def test_linear_formula(self, rng):
+        x, y = generate_relation("linear", 500, rng)
+        residual = y - 2 * x
+        # u ~ U(0,1): residuals inside [0, 1].
+        assert np.all((residual >= 0) & (residual <= 1))
+        assert np.all((x >= 0) & (x <= 10))
+
+    def test_quadratic_domain(self, rng):
+        x, y = generate_relation("quadratic", 500, rng)
+        assert np.all((x >= -4) & (x <= 4))
+        assert np.all(y >= x * x)
+
+    def test_circle_two_branches(self, rng):
+        x, y = generate_relation("circle", 1000, rng)
+        assert (y > 0).any() and (y < 0).any()
+        # Points stay near the radius-3 circle (u noise inflates slightly).
+        radius = np.sqrt(x * x + y * y)
+        assert np.all(radius <= 3.4)
+
+    def test_cross_two_branches(self, rng):
+        x, y = generate_relation("cross", 1000, rng)
+        on_pos = np.abs(y - x) <= 1.0
+        on_neg = np.abs(y + x) <= 1.0
+        assert np.all(on_pos | on_neg)
+        assert on_pos.any() and on_neg.any()
+
+    def test_square_root_noiseless(self, rng):
+        x, y = generate_relation("square_root", 200, rng)
+        np.testing.assert_allclose(y, np.sqrt(x))
+
+    def test_lengths(self, rng):
+        for name in relation_names():
+            x, y = generate_relation(name, 77, rng)
+            assert x.size == y.size == 77
+
+
+class TestInformationContent:
+    @pytest.mark.parametrize("name", [n for n in relation_names() if n != "independent"])
+    def test_dependent_relations_carry_mi(self, name, rng):
+        x, y = generate_relation(name, 400, rng)
+        # Rank-transform to tame the exponential's 40-decade span.
+        rx = np.argsort(np.argsort(x)).astype(float)
+        ry = np.argsort(np.argsort(y)).astype(float)
+        assert ksg_mi(rx, ry) > 0.2, name
+
+    def test_independent_carries_none(self, rng):
+        x, y = generate_relation("independent", 800, rng)
+        assert abs(ksg_mi(x, y)) < 0.08
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_property_deterministic_per_generator_state(self, seed):
+        a = generate_relation("sine", 50, np.random.default_rng(seed))
+        b = generate_relation("sine", 50, np.random.default_rng(seed))
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])

@@ -1,0 +1,129 @@
+"""Tests for the energy and smart-city simulators."""
+
+import numpy as np
+import pytest
+
+from repro.data.energy import DEVICES, EXPECTED_COUPLINGS, simulate_energy
+from repro.data.smartcity import (
+    EXPECTED_CITY_COUPLINGS,
+    INCIDENT_VARIABLES,
+    WEATHER_VARIABLES,
+    simulate_smartcity,
+)
+
+
+def _lagged_corr(x, y, lag):
+    if lag > 0:
+        return np.corrcoef(x[:-lag], y[lag:])[0, 1]
+    if lag < 0:
+        return np.corrcoef(x[-lag:], y[:lag])[0, 1]
+    return np.corrcoef(x, y)[0, 1]
+
+
+class TestEnergySimulator:
+    def test_all_devices_present(self):
+        data = simulate_energy(days=1, seed=0)
+        assert set(data.device_names()) == set(DEVICES)
+
+    def test_length_matches_days_and_resolution(self):
+        data = simulate_energy(days=2, seed=0, minutes_per_sample=5)
+        assert data.n == 2 * 24 * 60 // 5
+
+    def test_loads_non_negative(self):
+        data = simulate_energy(days=2, seed=1)
+        for name, series in data.series.items():
+            assert np.all(series >= 0), name
+
+    def test_deterministic_in_seed(self):
+        a = simulate_energy(days=1, seed=5)
+        b = simulate_energy(days=1, seed=5)
+        np.testing.assert_array_equal(a.series["kitchen"], b.series["kitchen"])
+
+    def test_different_seeds_differ(self):
+        a = simulate_energy(days=1, seed=1)
+        b = simulate_energy(days=1, seed=2)
+        assert not np.array_equal(a.series["kitchen"], b.series["kitchen"])
+
+    def test_washer_dryer_coupling_at_planted_lag(self):
+        data = simulate_energy(days=21, seed=0, minutes_per_sample=4, event_density=2.0)
+        x, y = data.pair("clothes_washer", "dryer")
+        lags = range(0, 16)
+        corrs = [_lagged_corr(x, y, lag) for lag in lags]
+        best = int(np.argmax(corrs))
+        # Planted lag 10-30 minutes = 2-7 samples at 4-minute resolution.
+        assert 2 <= best <= 8
+        assert max(corrs) > 0.3
+
+    def test_coupling_catalog_covers_table3(self):
+        labels = [c.label for c in EXPECTED_COUPLINGS]
+        assert labels == ["C1", "C2", "C3", "C4", "C5", "C6"]
+        for c in EXPECTED_COUPLINGS:
+            assert c.source in DEVICES and c.target in DEVICES
+            assert c.lag_minutes[0] <= c.lag_minutes[1]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError, match="days"):
+            simulate_energy(days=0)
+        with pytest.raises(ValueError, match="minutes_per_sample"):
+            simulate_energy(days=1, minutes_per_sample=0)
+
+    def test_pair_unknown_device(self):
+        data = simulate_energy(days=1, seed=0)
+        with pytest.raises(KeyError):
+            data.pair("kitchen", "sauna")
+
+
+class TestSmartCitySimulator:
+    def test_all_variables_present(self):
+        data = simulate_smartcity(days=2, seed=0)
+        names = set(data.variable_names())
+        assert set(WEATHER_VARIABLES) <= names
+        assert set(INCIDENT_VARIABLES) <= names
+
+    def test_counts_are_integers(self):
+        data = simulate_smartcity(days=2, seed=0)
+        collisions = data.series["collisions"]
+        np.testing.assert_array_equal(collisions, np.round(collisions))
+        assert np.all(collisions >= 0)
+
+    def test_weather_non_negative(self):
+        data = simulate_smartcity(days=3, seed=2)
+        for name in WEATHER_VARIABLES:
+            assert np.all(data.series[name] >= 0), name
+
+    def test_rain_collision_coupling_is_lagged(self):
+        data = simulate_smartcity(days=30, seed=0)
+        p, c = data.pair("precipitation", "collisions")
+        # Planted onset lag 30-120 min = 6-24 samples at 5-min resolution:
+        # correlation at a mid-range lag beats the instantaneous one.
+        mid = _lagged_corr(p, c, 15)
+        assert mid > 0.15
+
+    def test_snow_collision_coupling_exists(self):
+        data = simulate_smartcity(days=30, seed=1)
+        s, c = data.pair("snow", "collisions")
+        lags = range(0, 30)
+        corrs = [_lagged_corr(s, c, lag) for lag in lags]
+        assert max(corrs) > 0.1
+        assert 3 <= int(np.argmax(corrs)) <= 25
+
+    def test_diurnal_pattern_in_collisions(self):
+        data = simulate_smartcity(days=14, seed=3)
+        c = data.series["collisions"].reshape(14, -1).mean(axis=0)
+        per_hour = c.reshape(24, -1).mean(axis=1)
+        # Rush hours busier than 3-4am.
+        assert per_hour[8] > 1.5 * per_hour[3]
+        assert per_hour[17] > 1.5 * per_hour[3]
+
+    def test_deterministic_in_seed(self):
+        a = simulate_smartcity(days=2, seed=9)
+        b = simulate_smartcity(days=2, seed=9)
+        np.testing.assert_array_equal(a.series["collisions"], b.series["collisions"])
+
+    def test_coupling_catalog_covers_table3(self):
+        labels = [c.label for c in EXPECTED_CITY_COUPLINGS]
+        assert labels == ["C7", "C8", "C9", "C10"]
+
+    def test_rejects_bad_days(self):
+        with pytest.raises(ValueError, match="days"):
+            simulate_smartcity(days=0)

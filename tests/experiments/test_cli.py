@@ -1,0 +1,33 @@
+"""Tests for the tycos-experiments command-line entry point."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "table3",
+            "table4",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+        }
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table7"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "huge"])
+
+    def test_help_lists_choices(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig13" in out

@@ -1,0 +1,59 @@
+"""Tests for the shared dataset builders of the efficiency experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.datasets import (
+    city_pair,
+    dataset_pair,
+    energy_pair,
+    synthetic_pair,
+)
+from repro.mi.normalized import normalized_mi
+
+
+class TestSyntheticPairs:
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(KeyError, match="unknown synthetic"):
+            synthetic_pair("synthetic9", 300)
+
+    def test_planted_delay_carries_signal(self):
+        x, y = synthetic_pair("synthetic1", 600, seed=0, delay=10)
+        # Somewhere in the pair, a window at delay 10 must be strongly
+        # dependent while the aligned version is not.
+        starts = range(0, x.size - 75, 20)
+        best_shifted = max(
+            normalized_mi(x[s : s + 60], y[s + 10 : s + 70]) for s in starts
+        )
+        best_aligned = max(
+            normalized_mi(x[s : s + 60], y[s : s + 60]) for s in starts
+        )
+        assert best_shifted > 0.5
+        assert best_shifted > best_aligned
+
+    def test_deterministic(self):
+        a = synthetic_pair("synthetic2", 400, seed=3)
+        b = synthetic_pair("synthetic2", 400, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_requested_length_honored_approximately(self):
+        for n in (300, 700):
+            x, y = synthetic_pair("synthetic3", n, seed=0)
+            assert x.size <= n
+            assert x.size == y.size
+
+
+class TestSimulatedPairs:
+    def test_energy_pair_builds(self):
+        x, y = energy_pair(400, seed=0)
+        assert x.size == 400
+        assert np.all(x >= 0)
+
+    def test_city_pair_builds(self):
+        x, y = city_pair(500, seed=0)
+        assert x.size == 500
+
+    def test_dispatch(self):
+        for name in ("synthetic1", "energy", "smartcity"):
+            x, y = dataset_pair(name, 300, seed=1)
+            assert x.size == y.size

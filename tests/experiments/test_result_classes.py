@@ -1,0 +1,116 @@
+"""Unit tests for the experiment result containers (no searches run)."""
+
+import pytest
+
+from repro.experiments.fig9 import Fig9Result, VARIANTS
+from repro.experiments.fig10 import Fig10Result, METHODS as FIG10_METHODS
+from repro.experiments.fig11 import Fig11Result
+from repro.experiments.fig12 import Fig12Result
+from repro.experiments.fig13 import Fig13Result, SweepPoint
+from repro.experiments.table1 import METHODS, Table1Result
+from repro.experiments.table3 import Table3Result, Table3Row
+from repro.experiments.table4 import Table4Result, Table4Row
+
+
+class TestFig9Result:
+    def _sample(self):
+        r = Fig9Result()
+        r.runtimes["ds"] = {
+            "TYCOS_L": 8.0, "TYCOS_LN": 2.0, "TYCOS_LM": 6.0, "TYCOS_LMN": 1.0
+        }
+        r.windows["ds"] = {v: 3 for v in VARIANTS}
+        r.evaluations["ds"] = {v: 100 for v in VARIANTS}
+        return r
+
+    def test_speedup(self):
+        r = self._sample()
+        assert r.speedup("ds", "TYCOS_LMN") == pytest.approx(8.0)
+        assert r.speedup("ds", "TYCOS_LN") == pytest.approx(4.0)
+
+    def test_to_text_contains_all_variants(self):
+        text = self._sample().to_text()
+        for v in VARIANTS:
+            assert v in text
+        assert "8.0x" in text
+
+
+class TestFig10Result:
+    def test_speedup_series(self):
+        r = Fig10Result(sizes=[100, 200])
+        r.runtimes["BruteForce"] = [10.0, 40.0]
+        r.runtimes["MatrixProfile"] = [1.0, 2.0]
+        r.runtimes["TYCOS_LMN"] = [0.1, 0.2]
+        assert r.speedup("BruteForce") == pytest.approx([100.0, 200.0])
+        text = r.to_text()
+        for m in FIG10_METHODS:
+            assert m in text
+
+
+class TestFig11And12:
+    def test_fig12_wraps_fig11(self):
+        sweep = Fig11Result(ratios=[0.1, 0.5])
+        sweep.error_rate["ds"] = [0.0, 0.2]
+        sweep.runtime_gain["ds"] = [0.3, 0.6]
+        joint = Fig12Result(sweep=sweep)
+        assert joint.accuracy("ds") == [1.0, 0.8]
+        assert joint.runtime_gain("ds") == [0.3, 0.6]
+        assert "0.80" in joint.to_text()
+
+    def test_fig11_text(self):
+        sweep = Fig11Result(ratios=[0.25])
+        sweep.error_rate["ds"] = [0.05]
+        sweep.runtime_gain["ds"] = [0.5]
+        text = sweep.to_text()
+        assert "error-rate" in text and "runtime-gain" in text
+
+
+class TestFig13Result:
+    def test_accessors(self):
+        r = Fig13Result(parameter="sigma")
+        r.points = [SweepPoint(0.2, 10, 1.0), SweepPoint(0.4, 4, 0.5)]
+        assert r.window_counts() == [10, 4]
+        assert r.runtimes() == [1.0, 0.5]
+        assert "sigma" in r.to_text()
+
+
+class TestTable1Result:
+    def test_methods_reflect_cells(self):
+        r = Table1Result(delays=(0,))
+        for rel in ("independent", "linear", "exponential", "quadratic",
+                    "circle", "sine", "cross", "quartic", "square_root"):
+            r.cells[("TYCOS", rel, 0)] = True
+            r.cells[("PCC", rel, 0)] = False
+        assert r.methods() == ["PCC", "TYCOS"]
+        assert r.detected("TYCOS", "sine", 0)
+        assert not r.detected("PCC", "sine", 0)
+        text = r.to_text()
+        assert "MASS" not in text
+
+
+class TestTable3Result:
+    def test_cells_and_lookup(self):
+        row = Table3Row(
+            label="C3",
+            pair_name="washer vs dryer",
+            lag_minutes=(10, 30),
+            tycos_count=3,
+            tycos_delay_minutes=(12, 28),
+            amic_count=0,
+        )
+        r = Table3Result(rows=[row])
+        assert r.row("C3").tycos_cell() == "3, [12-28m]"
+        assert r.row("C3").amic_cell() == "x"
+        with pytest.raises(KeyError):
+            r.row("C11")
+
+    def test_empty_tycos_cell(self):
+        row = Table3Row("C9", "p", (30, 120), 0, None, 2)
+        assert row.tycos_cell() == "x"
+        assert row.amic_cell() == "2, 0m"
+
+
+class TestTable4Result:
+    def test_rendering(self):
+        r = Table4Result(rows=[Table4Row(300, 0.9, 0.95, 1.0, 0.97)])
+        text = r.to_text()
+        assert "90.0" in text and "100.0" in text

@@ -1,0 +1,68 @@
+"""Tests for the window-set comparison metrics."""
+
+import pytest
+
+from repro.core.window import TimeDelayWindow
+from repro.experiments.similarity import covers, detects, window_set_similarity
+
+
+class TestCovers:
+    def test_small_candidate_inside_large_truth(self):
+        truth = TimeDelayWindow(100, 250)
+        candidate = TimeDelayWindow(150, 170)
+        assert covers(candidate, truth)
+
+    def test_large_candidate_around_small_truth(self):
+        truth = TimeDelayWindow(100, 120)
+        candidate = TimeDelayWindow(80, 200)
+        assert covers(candidate, truth)
+
+    def test_marginal_overlap_rejected(self):
+        truth = TimeDelayWindow(100, 200)
+        candidate = TimeDelayWindow(190, 260)  # 11 of 71 samples inside
+        assert not covers(candidate, truth)
+
+    def test_delay_tolerance(self):
+        truth = TimeDelayWindow(100, 200, delay=10)
+        inside = TimeDelayWindow(120, 160, delay=12)
+        assert covers(inside, truth, delay_tol=3)
+        assert not covers(inside, truth, delay_tol=1)
+        assert covers(inside, truth)  # no tolerance -> delay ignored
+
+    def test_disjoint(self):
+        assert not covers(TimeDelayWindow(0, 10), TimeDelayWindow(50, 60))
+
+
+class TestDetects:
+    def test_any_window_suffices(self):
+        truth = TimeDelayWindow(100, 200)
+        windows = [TimeDelayWindow(0, 20), TimeDelayWindow(120, 150)]
+        assert detects(windows, truth)
+
+    def test_empty_set(self):
+        assert not detects([], TimeDelayWindow(0, 10))
+
+
+class TestWindowSetSimilarity:
+    def test_identical_sets(self):
+        ws = [TimeDelayWindow(0, 10), TimeDelayWindow(50, 80)]
+        assert window_set_similarity(ws, ws) == 1.0
+
+    def test_partial_recall(self):
+        reference = [TimeDelayWindow(0, 10), TimeDelayWindow(50, 80), TimeDelayWindow(200, 240)]
+        test = [TimeDelayWindow(0, 10), TimeDelayWindow(55, 75)]
+        assert window_set_similarity(test, reference) == pytest.approx(2 / 3)
+
+    def test_peak_inside_region_counts(self):
+        # Aggregated BF window spans the region; the heuristic reports the
+        # peak inside it: agreement.
+        reference = [TimeDelayWindow(0, 100)]
+        test = [TimeDelayWindow(40, 60)]
+        assert window_set_similarity(test, reference) == 1.0
+
+    def test_empty_reference(self):
+        assert window_set_similarity([], []) == 1.0
+        assert window_set_similarity([TimeDelayWindow(0, 5)], []) == 0.0
+
+    def test_empty_test(self):
+        assert window_set_similarity([], [TimeDelayWindow(0, 5)]) == 0.0

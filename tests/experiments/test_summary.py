@@ -1,0 +1,49 @@
+"""Tests for the one-call summary report."""
+
+import pytest
+
+from repro.experiments import summary as summary_module
+from repro.experiments.summary import generate_summary
+
+
+class TestGenerateSummary:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiments"):
+            generate_summary(experiments=["table9"])
+
+    def test_collects_sections_and_durations(self, monkeypatch):
+        monkeypatch.setitem(
+            summary_module.EXPERIMENTS, "table1", lambda scale, seed: "TABLE ONE BODY"
+        )
+        report = generate_summary(experiments=["table1"], scale="quick", seed=3)
+        assert report.sections["table1"] == "TABLE ONE BODY"
+        assert report.durations["table1"] >= 0.0
+        assert report.failures == {}
+
+    def test_failure_recorded_not_raised(self, monkeypatch):
+        def boom(scale, seed):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setitem(summary_module.EXPERIMENTS, "fig9", boom)
+        report = generate_summary(experiments=["fig9"])
+        assert "fig9" in report.failures
+        assert "synthetic failure" in report.failures["fig9"]
+
+    def test_markdown_rendering(self, monkeypatch, tmp_path):
+        monkeypatch.setitem(
+            summary_module.EXPERIMENTS, "table1", lambda scale, seed: "BODY"
+        )
+        path = tmp_path / "report.md"
+        report = generate_summary(experiments=["table1"], output_path=path)
+        text = report.to_markdown()
+        assert "# TYCOS evaluation report" in text
+        assert "## table1" in text and "BODY" in text
+        assert path.read_text() == text
+
+    def test_failures_section_in_markdown(self, monkeypatch):
+        def boom(scale, seed):
+            raise ValueError("nope")
+
+        monkeypatch.setitem(summary_module.EXPERIMENTS, "fig10", boom)
+        text = generate_summary(experiments=["fig10"]).to_markdown()
+        assert "## failures" in text and "nope" in text

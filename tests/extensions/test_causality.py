@@ -1,0 +1,72 @@
+"""Tests for the lead-lag direction analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TycosConfig
+from repro.core.results import WindowResult
+from repro.core.tycos import TycosResult, tycos_lmn
+from repro.core.window import TimeDelayWindow
+from repro.extensions.causality import (
+    UNDECIDED,
+    X_LEADS,
+    Y_LEADS,
+    analyze_directions,
+)
+
+
+def _driven_pair(rng, n=600, lag=4):
+    """y is driven by x's past: x clearly leads."""
+    x = rng.normal(size=n)
+    y = np.zeros(n)
+    for t in range(lag, n):
+        y[t] = 0.9 * x[t - lag] + 0.3 * rng.normal()
+    return x, y
+
+
+class TestAnalyzeDirections:
+    def test_x_leading_detected(self, rng):
+        x, y = _driven_pair(rng)
+        cfg = TycosConfig(
+            sigma=0.2, s_min=48, s_max=200, td_max=8, init_delay_step=1, seed=0
+        )
+        result = tycos_lmn(cfg).search(x, y)
+        assert result.windows, "search must find the coupling first"
+        report = analyze_directions(x, y, result)
+        assert report.consensus() == X_LEADS
+
+    def test_y_leading_detected(self, rng):
+        x, y = _driven_pair(rng)
+        # Swap roles: now the 'x' series is the driven one.
+        cfg = TycosConfig(
+            sigma=0.2, s_min=48, s_max=200, td_max=8, init_delay_step=1, seed=0
+        )
+        result = tycos_lmn(cfg).search(y, x)
+        report = analyze_directions(y, x, result)
+        assert report.consensus() == Y_LEADS
+
+    def test_small_windows_undecided(self, rng):
+        x = rng.normal(size=200)
+        y = rng.normal(size=200)
+        tiny = TycosResult(
+            windows=[WindowResult(window=TimeDelayWindow(10, 25, delay=0), mi=1.0, nmi=0.9)]
+        )
+        report = analyze_directions(x, y, tiny, min_window=30)
+        assert report.directions[0].verdict == UNDECIDED
+
+    def test_empty_result(self, rng):
+        x = rng.normal(size=100)
+        y = rng.normal(size=100)
+        report = analyze_directions(x, y, TycosResult())
+        assert report.directions == []
+        assert report.consensus() == UNDECIDED
+
+    def test_report_rendering(self, rng):
+        x, y = _driven_pair(rng)
+        cfg = TycosConfig(
+            sigma=0.2, s_min=48, s_max=200, td_max=8, init_delay_step=1, seed=0
+        )
+        result = tycos_lmn(cfg).search(x, y)
+        text = analyze_directions(x, y, result).to_text()
+        assert "consensus" in text
+        assert "not proof of causation" in text

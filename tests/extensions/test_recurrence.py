@@ -1,0 +1,74 @@
+"""Tests for recurring-pattern mining."""
+
+import pytest
+
+from repro.core.results import WindowResult
+from repro.core.window import TimeDelayWindow
+from repro.extensions.recurrence import mine_recurrence
+
+
+def _result(start, size, delay=3, nmi=0.7):
+    return WindowResult(
+        window=TimeDelayWindow(start, start + size - 1, delay=delay), mi=nmi, nmi=nmi
+    )
+
+
+class TestMineRecurrence:
+    def test_daily_morning_band_found(self):
+        # "Every morning": windows at phase ~360 of a 1440-sample day.
+        period = 1440
+        windows = [_result(day * period + 360 + jitter, 40) for day, jitter in
+                   [(0, 0), (1, 10), (2, -5), (3, 15)]]
+        report = mine_recurrence(windows, period=period)
+        assert len(report.patterns) == 1
+        band = report.patterns[0]
+        assert band.support == 4
+        assert 350 <= band.phase_start <= 360
+        assert band.median_delay == pytest.approx(3)
+
+    def test_one_off_window_below_support(self):
+        period = 1440
+        windows = [_result(360, 40), _result(2 * period + 900, 40)]
+        report = mine_recurrence(windows, period=period, min_support=2)
+        assert report.patterns == []
+
+    def test_two_distinct_bands(self):
+        period = 1000
+        windows = []
+        for day in range(3):
+            windows.append(_result(day * period + 100, 30, delay=2))
+            windows.append(_result(day * period + 600, 30, delay=8))
+        report = mine_recurrence(windows, period=period)
+        assert len(report.patterns) == 2
+        phases = sorted(p.phase_start for p in report.patterns)
+        assert phases[0] == 100 and phases[1] == 600
+        delays = {p.median_delay for p in report.patterns}
+        assert delays == {2.0, 8.0}
+
+    def test_gap_tolerance_merges_close_windows(self):
+        period = 1000
+        windows = [
+            _result(0 * period + 100, 30),
+            _result(1 * period + 140, 30),  # 10 past the previous band end
+        ]
+        merged = mine_recurrence(windows, period=period, gap_tolerance=20)
+        split = mine_recurrence(windows, period=period, gap_tolerance=5, min_support=1)
+        assert len(merged.patterns) == 1
+        assert len(split.patterns) == 2
+
+    def test_empty_input(self):
+        report = mine_recurrence([], period=100)
+        assert report.patterns == []
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError, match="period"):
+            mine_recurrence([], period=1)
+        with pytest.raises(ValueError, match="min_support"):
+            mine_recurrence([], period=10, min_support=0)
+
+    def test_rendering_with_clock(self):
+        period = 1440
+        windows = [_result(day * period + 360, 40) for day in range(3)]
+        text = mine_recurrence(windows, period=period).to_text(samples_per_hour=60)
+        assert "h-" in text  # clock annotation present
+        assert "support" in text

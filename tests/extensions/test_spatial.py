@@ -1,0 +1,110 @@
+"""Tests for the spatial correlation extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TycosConfig
+from repro.data.spatial import Station, simulate_moving_front
+from repro.extensions.spatial import estimate_propagation, spatial_scan
+
+
+STATIONS = {"west": (0.0, 0.0), "mid": (10.0, 0.0), "east": (20.0, 0.0), "north": (10.0, 10.0)}
+
+
+def _config(**kwargs):
+    defaults = dict(
+        sigma=0.3,
+        s_min=24,
+        s_max=200,
+        td_max=50,
+        init_delay_step=4,
+        significance_permutations=10,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return TycosConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def front_data():
+    return simulate_moving_front(STATIONS, n=800, events=3, velocity=(0.5, 0.0), seed=0)
+
+
+class TestSimulator:
+    def test_expected_delays_follow_geometry(self, front_data):
+        # Moving east at 0.5/sample: east sees events 40 samples after west.
+        assert front_data.expected_delay("west", "east") == pytest.approx(40.0)
+        assert front_data.expected_delay("west", "mid") == pytest.approx(20.0)
+        # Motion is purely eastward: north/mid share the arrival time.
+        assert front_data.expected_delay("mid", "north") == pytest.approx(0.0)
+
+    def test_front_times_match_expected_delays(self, front_data):
+        for ta, tb in zip(front_data.front_times["west"], front_data.front_times["east"]):
+            assert tb - ta == pytest.approx(40, abs=1)
+
+    def test_station_distance(self):
+        assert Station("a", 0, 0).distance_to(Station("b", 3, 4)) == pytest.approx(5.0)
+
+    def test_rejects_empty_network(self):
+        with pytest.raises(ValueError, match="at least one station"):
+            simulate_moving_front({}, n=100)
+
+    def test_rejects_too_short_series(self):
+        with pytest.raises(ValueError, match="too short"):
+            simulate_moving_front(STATIONS, n=60, velocity=(0.2, 0.0), seed=0)
+
+
+class TestSpatialScan:
+    def test_all_pairs_correlated(self, front_data):
+        report = spatial_scan(front_data, _config())
+        assert len(report.correlated()) == 6  # C(4,2), all share the front
+
+    def test_distance_pruning(self, front_data):
+        report = spatial_scan(front_data, _config(), max_distance=12.0)
+        assert ("east", "west") in report.pruned or ("west", "east") in report.pruned
+        searched = {(f.source, f.target) for f in report.findings}
+        assert all(
+            front_data.stations[a].distance_to(front_data.stations[b]) <= 12.0
+            for a, b in searched
+        )
+
+    def test_delays_track_geometry(self, front_data):
+        report = spatial_scan(front_data, _config())
+        for f in report.correlated():
+            expected = front_data.expected_delay(f.source, f.target)
+            assert f.median_delay == pytest.approx(expected, abs=8), (f.source, f.target)
+
+    def test_report_rendering(self, front_data):
+        text = spatial_scan(front_data, _config(), max_distance=12.0).to_text()
+        assert "Spatial correlation scan" in text
+        assert "beyond the distance bound" in text
+
+
+class TestPropagationEstimate:
+    def test_recovers_velocity(self, front_data):
+        report = spatial_scan(front_data, _config())
+        velocity = estimate_propagation(report)
+        assert velocity is not None
+        assert velocity[0] == pytest.approx(0.5, abs=0.15)
+        assert velocity[1] == pytest.approx(0.0, abs=0.15)
+
+    def test_insufficient_pairs(self):
+        from repro.extensions.spatial import SpatialFinding, SpatialReport
+
+        report = SpatialReport(
+            findings=[
+                SpatialFinding("a", "b", 10.0, (10.0, 0.0), windows=1, median_delay=20.0)
+            ]
+        )
+        assert estimate_propagation(report) is None
+
+    def test_collinear_pairs_rejected(self):
+        from repro.extensions.spatial import SpatialFinding, SpatialReport
+
+        report = SpatialReport(
+            findings=[
+                SpatialFinding("a", "b", 10.0, (10.0, 0.0), windows=1, median_delay=20.0),
+                SpatialFinding("b", "c", 10.0, (20.0, 0.0), windows=1, median_delay=40.0),
+            ]
+        )
+        assert estimate_propagation(report) is None

@@ -1,0 +1,94 @@
+"""Tests for the streaming correlation monitor."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.streaming import StreamingMonitor
+from repro.mi.ksg import ksg_mi
+
+
+def _episode_feed(rng, n=600, start=250, length=150, delay=5):
+    x = rng.uniform(0, 1, n)
+    y = rng.uniform(0, 1, n)
+    seg = rng.uniform(0, 1, length)
+    x[start : start + length] = seg
+    y[start + delay : start + delay + length] = seg + 0.01 * rng.normal(size=length)
+    return x, y
+
+
+class TestStreamingDetection:
+    def test_detects_episode_on_right_lane(self, rng):
+        x, y = _episode_feed(rng, delay=5)
+        monitor = StreamingMonitor(scales=(48,), delays=(0, 5), sigma=0.5)
+        for xv, yv in zip(x, y):
+            monitor.push(xv, yv)
+        assert monitor.events
+        best = max(monitor.events, key=lambda e: e.nmi)
+        assert best.delay == 5
+        # The event fires once the window fills inside the episode.
+        assert 250 <= best.time <= 420
+
+    def test_hysteresis_yields_one_event_per_episode(self, rng):
+        x, y = _episode_feed(rng, delay=0)
+        monitor = StreamingMonitor(scales=(48,), delays=(0,), sigma=0.5)
+        for xv, yv in zip(x, y):
+            monitor.push(xv, yv)
+        assert len(monitor.events) == 1
+
+    def test_silent_on_noise(self, rng):
+        monitor = StreamingMonitor(scales=(48,), delays=(0, 3), sigma=0.6)
+        for _ in range(500):
+            monitor.push(rng.uniform(), rng.uniform())
+        assert monitor.events == []
+
+    def test_reactivates_on_second_episode(self, rng):
+        n = 1100
+        x = rng.uniform(0, 1, n)
+        y = rng.uniform(0, 1, n)
+        for start in (200, 700):
+            seg = rng.uniform(0, 1, 150)
+            x[start : start + 150] = seg
+            y[start : start + 150] = seg + 0.01 * rng.normal(size=150)
+        monitor = StreamingMonitor(scales=(48,), delays=(0,), sigma=0.5)
+        for xv, yv in zip(x, y):
+            monitor.push(xv, yv)
+        times = [e.time for e in monitor.events]
+        assert len(times) == 2
+        assert times[0] < 450 < times[1]
+
+    def test_engine_matches_batch_on_trailing_window(self, rng):
+        # The lane's engine state must equal a batch KSG on the trailing
+        # window at every step (spot-checked).
+        x = rng.normal(size=200)
+        y = 0.7 * x + 0.7 * rng.normal(size=200)
+        monitor = StreamingMonitor(scales=(32,), delays=(0,), sigma=5.0)  # never fires
+        for t, (xv, yv) in enumerate(zip(x, y)):
+            monitor.push(xv, yv)
+            if t in (50, 120, 199):
+                lane = monitor._lanes[0]
+                expected = ksg_mi(x[t - 31 : t + 1], y[t - 31 : t + 1])
+                assert lane.engine.mi() == pytest.approx(expected, abs=1e-12)
+
+
+class TestStreamingValidation:
+    def test_rejects_empty_scales(self):
+        with pytest.raises(ValueError, match="at least one scale"):
+            StreamingMonitor(scales=())
+
+    def test_rejects_tiny_scale(self):
+        with pytest.raises(ValueError, match="every scale"):
+            StreamingMonitor(scales=(4,), k=4)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="delays"):
+            StreamingMonitor(scales=(32,), delays=(-1,))
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            StreamingMonitor(scales=(32,), sigma=0.0)
+
+    def test_time_tracking(self, rng):
+        monitor = StreamingMonitor(scales=(8,), delays=(0,), sigma=5.0, k=4)
+        assert monitor.time == -1
+        monitor.push(0.1, 0.2)
+        assert monitor.time == 0

@@ -1,0 +1,84 @@
+"""Tests for conditional MI and transfer entropy."""
+
+import numpy as np
+import pytest
+
+from repro.mi.cmi import ksg_cmi, transfer_entropy
+
+
+class TestKsgCmi:
+    def test_conditioning_on_mediator_kills_mi(self, rng):
+        n = 400
+        z = rng.normal(size=n)
+        x = z + 0.3 * rng.normal(size=n)
+        y = z + 0.3 * rng.normal(size=n)
+        assert abs(ksg_cmi(x, y, z)) < 0.15
+
+    def test_conditioning_on_irrelevant_keeps_mi(self, rng):
+        n = 400
+        z = rng.normal(size=n)
+        x = z + 0.3 * rng.normal(size=n)
+        y = z + 0.3 * rng.normal(size=n)
+        w = rng.normal(size=n)
+        assert ksg_cmi(x, y, w) > 0.4
+
+    def test_multidimensional_conditioning(self, rng):
+        n = 400
+        z1 = rng.normal(size=n)
+        z2 = rng.normal(size=n)
+        x = z1 + z2 + 0.3 * rng.normal(size=n)
+        y = z1 + z2 + 0.3 * rng.normal(size=n)
+        z = np.column_stack([z1, z2])
+        assert abs(ksg_cmi(x, y, z)) < 0.2
+        assert ksg_cmi(x, y, rng.normal(size=(n, 2))) > 0.4
+
+    def test_independent_triple_is_zero(self, rng):
+        x = rng.normal(size=300)
+        y = rng.normal(size=300)
+        z = rng.normal(size=300)
+        assert abs(ksg_cmi(x, y, z)) < 0.1
+
+    def test_rejects_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError, match="same number"):
+            ksg_cmi(rng.normal(size=10), rng.normal(size=10), rng.normal(size=9))
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError, match="more than"):
+            ksg_cmi(np.arange(4.0), np.arange(4.0), np.arange(4.0), k=4)
+
+
+class TestTransferEntropy:
+    def test_detects_directed_coupling(self, rng):
+        n = 500
+        x = rng.normal(size=n)
+        y = np.zeros(n)
+        for t in range(2, n):
+            y[t] = 0.8 * x[t - 2] + 0.4 * rng.normal()
+        forward = transfer_entropy(x, y, lag=2)
+        backward = transfer_entropy(y, x, lag=2)
+        assert forward > 0.3
+        assert forward > backward + 0.2
+
+    def test_no_coupling_no_transfer(self, rng):
+        x = rng.normal(size=400)
+        y = rng.normal(size=400)
+        assert abs(transfer_entropy(x, y, lag=1)) < 0.1
+
+    def test_autocorrelated_target_controlled_for(self, rng):
+        # y depends only on its own past: TE from an unrelated x is ~0
+        # even though naive lagged MI between x and y would be fooled by
+        # nothing here -- the point is the conditioning works.
+        n = 500
+        y = np.zeros(n)
+        for t in range(1, n):
+            y[t] = 0.9 * y[t - 1] + 0.2 * rng.normal()
+        x = rng.normal(size=n)
+        assert abs(transfer_entropy(x, y, lag=1)) < 0.1
+
+    def test_rejects_bad_lag(self, rng):
+        with pytest.raises(ValueError, match="lag"):
+            transfer_entropy(rng.normal(size=50), rng.normal(size=50), lag=0)
+
+    def test_rejects_short_series(self, rng):
+        with pytest.raises(ValueError, match="too short"):
+            transfer_entropy(rng.normal(size=6), rng.normal(size=6), lag=3)

@@ -1,0 +1,94 @@
+"""Tests for the entropy estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mi.entropy import binned_joint_entropy, default_bins, discrete_entropy, kl_entropy
+
+
+class TestDiscreteEntropy:
+    def test_uniform_two_symbols(self):
+        labels = np.array([0, 1] * 50)
+        assert discrete_entropy(labels) == pytest.approx(np.log(2))
+
+    def test_single_symbol_is_zero(self):
+        assert discrete_entropy(np.zeros(10)) == 0.0
+
+    def test_uniform_k_symbols(self):
+        k = 8
+        labels = np.repeat(np.arange(k), 25)
+        assert discrete_entropy(labels) == pytest.approx(np.log(k))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            discrete_entropy(np.empty(0))
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_bounded_by_log_support(self, m):
+        rng = np.random.default_rng(m)
+        labels = rng.integers(0, 5, size=m)
+        h = discrete_entropy(labels)
+        support = len(np.unique(labels))
+        assert -1e-12 <= h <= np.log(support) + 1e-12
+
+
+class TestBinnedJointEntropy:
+    def test_non_negative_and_bounded(self, rng):
+        x = rng.normal(size=200)
+        y = rng.normal(size=200)
+        bins = default_bins(200)
+        h = binned_joint_entropy(x, y, bins=bins)
+        assert 0.0 <= h <= 2 * np.log(bins) + 1e-9
+
+    def test_deterministic_relation_has_lower_entropy(self, rng):
+        x = rng.uniform(0, 1, size=500)
+        y_dep = x.copy()
+        y_indep = rng.uniform(0, 1, size=500)
+        assert binned_joint_entropy(x, y_dep) < binned_joint_entropy(x, y_indep)
+
+    def test_constant_input(self):
+        x = np.ones(50)
+        y = np.ones(50)
+        assert binned_joint_entropy(x, y) == pytest.approx(0.0)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError, match="equal length"):
+            binned_joint_entropy(np.arange(3.0), np.arange(4.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            binned_joint_entropy(np.empty(0), np.empty(0))
+
+
+class TestKlEntropy:
+    def test_gaussian_ground_truth_1d(self, rng):
+        # H = 0.5 * ln(2*pi*e*sigma^2); sigma=1 -> about 1.4189.
+        x = rng.normal(size=5000)
+        truth = 0.5 * np.log(2 * np.pi * np.e)
+        assert kl_entropy(x, k=4) == pytest.approx(truth, abs=0.05)
+
+    def test_gaussian_ground_truth_2d(self, rng):
+        pts = rng.normal(size=(5000, 2))
+        truth = 2 * 0.5 * np.log(2 * np.pi * np.e)
+        assert kl_entropy(pts, k=4) == pytest.approx(truth, abs=0.08)
+
+    def test_scaling_shifts_entropy(self, rng):
+        x = rng.normal(size=2000)
+        # H(aX) = H(X) + ln a.
+        assert kl_entropy(3.0 * x) == pytest.approx(kl_entropy(x) + np.log(3.0), abs=0.05)
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError, match="more than k"):
+            kl_entropy(np.arange(4.0), k=4)
+
+
+class TestDefaultBins:
+    def test_monotone_in_m(self):
+        values = [default_bins(m) for m in (10, 100, 1000, 10000)]
+        assert values == sorted(values)
+
+    def test_minimum_two(self):
+        assert default_bins(1) >= 2

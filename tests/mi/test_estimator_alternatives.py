@@ -1,0 +1,141 @@
+"""Tests for the histogram and KDE MI estimators (Section 3.1 comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.mi.histogram import histogram_mi
+from repro.mi.kde import kde_mi, silverman_bandwidth
+from repro.mi.ksg import ksg_mi
+
+
+class TestHistogramMi:
+    def test_gaussian_ground_truth(self, rng):
+        n = 8000
+        x = rng.normal(size=n)
+        y = 0.8 * x + 0.6 * rng.normal(size=n)
+        truth = -0.5 * np.log(1 - 0.64)
+        assert histogram_mi(x, y) == pytest.approx(truth, abs=0.12)
+
+    def test_independent_near_zero(self, independent_pair):
+        x, y = independent_pair
+        assert abs(histogram_mi(x, y)) < 0.15
+
+    def test_non_negative(self, rng):
+        for _ in range(5):
+            x = rng.normal(size=100)
+            y = rng.normal(size=100)
+            assert histogram_mi(x, y) >= 0.0
+
+    def test_bin_sensitivity(self, correlated_gaussian):
+        # The classic histogram weakness: the estimate moves with the bins.
+        x, y = correlated_gaussian
+        coarse = histogram_mi(x, y, bins=3)
+        fine = histogram_mi(x, y, bins=40)
+        assert abs(coarse - fine) > 0.1
+
+    def test_rejects_bad_bins(self, correlated_gaussian):
+        x, y = correlated_gaussian
+        with pytest.raises(ValueError, match="bins"):
+            histogram_mi(x, y, bins=1)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError, match="equal length"):
+            histogram_mi(np.arange(4.0), np.arange(5.0))
+
+
+class TestKdeMi:
+    def test_gaussian_ground_truth(self, rng):
+        n = 1200
+        x = rng.normal(size=n)
+        y = 0.8 * x + 0.6 * rng.normal(size=n)
+        truth = -0.5 * np.log(1 - 0.64)
+        assert kde_mi(x, y) == pytest.approx(truth, abs=0.15)
+
+    def test_independent_near_zero(self, rng):
+        x = rng.normal(size=600)
+        y = rng.normal(size=600)
+        assert abs(kde_mi(x, y)) < 0.15
+
+    def test_detects_nonlinear(self, rng):
+        x = rng.uniform(-2, 2, 600)
+        y = x * x + 0.05 * rng.normal(size=600)
+        assert kde_mi(x, y) > 0.4
+
+    def test_bandwidth_scale_changes_estimate(self, correlated_gaussian):
+        x, y = correlated_gaussian
+        assert kde_mi(x, y, bandwidth_scale=0.3) != pytest.approx(
+            kde_mi(x, y, bandwidth_scale=3.0), abs=0.01
+        )
+
+    def test_rejects_bad_bandwidth(self, correlated_gaussian):
+        x, y = correlated_gaussian
+        with pytest.raises(ValueError, match="bandwidth_scale"):
+            kde_mi(x, y, bandwidth_scale=0.0)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            kde_mi(np.arange(3.0), np.arange(3.0))
+
+
+class TestSilverman:
+    def test_scales_with_spread(self, rng):
+        x = rng.normal(size=500)
+        assert silverman_bandwidth(3 * x) == pytest.approx(3 * silverman_bandwidth(x), rel=1e-9)
+
+    def test_degenerate_input(self):
+        h = silverman_bandwidth(np.ones(50))
+        assert h > 0
+
+
+class TestEstimatorComparison:
+    """The Section-3.1 claim: KSG wins on efficiency *and* accuracy.
+
+    KDE with Gaussian kernels is ideally matched to Gaussian data, so the
+    accuracy comparison against it uses a non-linear relation; the
+    efficiency comparison holds everywhere (KDE is O(m^2) with heavy
+    constants).
+    """
+
+    def test_ksg_beats_histogram_on_gaussian(self):
+        truth = -0.5 * np.log(1 - 0.64)
+        errors = {"ksg": [], "hist": []}
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            x = rng.normal(size=200)
+            y = 0.8 * x + 0.6 * rng.normal(size=200)
+            errors["ksg"].append(abs(ksg_mi(x, y) - truth))
+            errors["hist"].append(abs(histogram_mi(x, y) - truth))
+        mean = {k: float(np.mean(v)) for k, v in errors.items()}
+        assert mean["ksg"] <= mean["hist"] + 0.02, mean
+
+    def test_ksg_stable_on_nonlinear_where_kde_is_bandwidth_bound(self):
+        # On a sharp non-linear relation the fixed Silverman bandwidth
+        # oversmooths; KSG adapts per point.  Compare the *spread* of the
+        # two estimators across resamples of the same relation.
+        ksg_vals, kde_vals = [], []
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            x = rng.uniform(-1, 1, 250)
+            y = np.sin(8 * x) + 0.02 * rng.normal(size=250)
+            ksg_vals.append(ksg_mi(x, y))
+            kde_vals.append(kde_mi(x, y))
+        # Both must see strong dependence ...
+        assert min(ksg_vals) > 0.5
+        # ... and KSG's estimates vary no more than KDE's.
+        assert np.std(ksg_vals) <= np.std(kde_vals) + 0.05
+
+    def test_ksg_much_faster_than_kde(self):
+        import time
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=600)
+        y = 0.7 * x + 0.7 * rng.normal(size=600)
+        t0 = time.perf_counter()
+        for _ in range(3):
+            ksg_mi(x, y)
+        t_ksg = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(3):
+            kde_mi(x, y)
+        t_kde = time.perf_counter() - t0
+        assert t_ksg < t_kde

@@ -1,0 +1,93 @@
+"""Tests for the 2-D k-d tree backend."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mi.kdtree import KDTree, chebyshev_knn_kdtree
+from repro.mi.ksg import ksg_mi
+from repro.mi.neighbors import chebyshev_knn_bruteforce
+
+
+class TestKdTreeQueries:
+    def test_matches_bruteforce_uniform(self, rng):
+        x = rng.uniform(-5, 5, 250)
+        y = rng.uniform(-5, 5, 250)
+        a = chebyshev_knn_bruteforce(x, y, 4)
+        b = chebyshev_knn_kdtree(x, y, 4)
+        np.testing.assert_allclose(a.kth_distance, b.kth_distance)
+        np.testing.assert_allclose(a.eps_x, b.eps_x)
+        np.testing.assert_allclose(a.eps_y, b.eps_y)
+
+    def test_matches_bruteforce_clustered(self, rng):
+        x = np.concatenate([rng.normal(scale=0.001, size=150), rng.normal(100, 1, 80)])
+        y = np.concatenate([rng.normal(scale=0.001, size=150), rng.normal(-50, 1, 80)])
+        a = chebyshev_knn_bruteforce(x, y, 6)
+        b = chebyshev_knn_kdtree(x, y, 6)
+        np.testing.assert_allclose(a.kth_distance, b.kth_distance)
+
+    def test_single_query_with_exclusion(self, rng):
+        x = rng.normal(size=80)
+        y = rng.normal(size=80)
+        tree = KDTree(x, y)
+        idx, dist = tree.knn(float(x[10]), float(y[10]), 3, exclude=10)
+        assert 10 not in idx
+        full = np.maximum(np.abs(x - x[10]), np.abs(y - y[10]))
+        full[10] = np.inf
+        np.testing.assert_allclose(sorted(dist), np.sort(full)[:3])
+
+    def test_query_without_exclusion_finds_self(self, rng):
+        x = rng.normal(size=50)
+        y = rng.normal(size=50)
+        tree = KDTree(x, y)
+        idx, dist = tree.knn(float(x[7]), float(y[7]), 1)
+        assert idx[0] == 7
+        assert dist[0] == 0.0
+
+    def test_leaf_only_tree(self, rng):
+        # Fewer points than the leaf size: the root is a leaf.
+        x = rng.normal(size=8)
+        y = rng.normal(size=8)
+        tree = KDTree(x, y)
+        idx, dist = tree.knn(0.0, 0.0, 3)
+        assert len(idx) == 3
+
+    def test_duplicate_points(self):
+        x = np.array([1.0] * 20 + [2.0] * 20)
+        y = np.array([1.0] * 20 + [2.0] * 20)
+        result = chebyshev_knn_kdtree(x, y, 3)
+        np.testing.assert_allclose(result.kth_distance[:20], 0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="zero points"):
+            KDTree(np.empty(0), np.empty(0))
+
+    def test_rejects_k_too_large(self, rng):
+        tree = KDTree(rng.normal(size=5), rng.normal(size=5))
+        with pytest.raises(ValueError, match="only"):
+            tree.knn(0.0, 0.0, 10)
+
+    def test_rejects_bad_k(self, rng):
+        tree = KDTree(rng.normal(size=5), rng.normal(size=5))
+        with pytest.raises(ValueError, match="k must be"):
+            tree.knn(0.0, 0.0, 0)
+
+    @given(st.integers(0, 100), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_bruteforce(self, seed, k):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(k + 2, 120))
+        x = rng.normal(size=m)
+        y = rng.normal(size=m)
+        a = chebyshev_knn_bruteforce(x, y, k)
+        b = chebyshev_knn_kdtree(x, y, k)
+        np.testing.assert_allclose(a.kth_distance, b.kth_distance)
+
+
+class TestKsgWithKdTree:
+    def test_ksg_backend_agreement(self, correlated_gaussian):
+        x, y = correlated_gaussian
+        assert ksg_mi(x, y, backend="kdtree") == pytest.approx(
+            ksg_mi(x, y, backend="bruteforce"), abs=1e-10
+        )

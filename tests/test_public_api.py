@@ -1,0 +1,75 @@
+"""Tests for the package's public surface."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_api(self):
+        # The four names a reader of the README will try first.
+        assert callable(repro.Tycos)
+        assert callable(repro.TycosConfig)
+        assert callable(repro.ksg_mi)
+        assert callable(repro.normalized_mi)
+
+
+class TestReadmeSnippet:
+    def test_readme_example_works(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(size=600)
+        y = rng.uniform(size=600)
+        driver = rng.uniform(size=100)
+        x[300:400] = driver
+        y[310:410] = np.sin(6 * driver) / 2 + 0.5
+
+        config = repro.TycosConfig(
+            sigma=0.4, s_min=20, s_max=150, td_max=15,
+            init_delay_step=1, significance_permutations=10,
+        )
+        result = repro.Tycos(config).search(x, y)
+        assert any(
+            280 <= r.window.start <= 400 and r.window.delay == 10 for r in result.windows
+        )
+
+
+class TestEdgeCases:
+    def test_constant_series_with_jitter(self):
+        # Zero-variance input: jitter uses scale 1.0 fallback, search runs.
+        x = np.ones(120)
+        y = np.ones(120)
+        pair = repro.PairView(x, y, jitter=1e-6, seed=0)
+        assert np.std(pair.x) > 0
+
+    def test_raw_mi_mode(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(size=300)
+        y = rng.uniform(size=300)
+        seg = rng.uniform(size=80)
+        x[100:180] = seg
+        y[100:180] = seg + 0.01 * rng.normal(size=80)
+        config = repro.TycosConfig(
+            sigma=1.0,  # in nats now
+            s_min=20,
+            s_max=120,
+            td_max=2,
+            use_normalized=False,
+            seed=0,
+        )
+        result = repro.Tycos(config).search(x, y)
+        assert result.windows
+        assert all(r.mi >= 1.0 for r in result.windows)
+
+    def test_series_shorter_than_s_min(self):
+        config = repro.TycosConfig(sigma=0.3, s_min=50, s_max=60, td_max=2)
+        rng = np.random.default_rng(0)
+        result = repro.Tycos(config).search(rng.normal(size=30), rng.normal(size=30))
+        assert result.windows == []
