@@ -8,8 +8,6 @@ a chain of restarts with bounded local work, so runtime should grow close
 to linearly in n).
 """
 
-import numpy as np
-
 from repro.core.config import TycosConfig
 from repro.core.tycos import tycos_lmn
 from repro.experiments.datasets import dataset_pair

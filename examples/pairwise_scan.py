@@ -10,8 +10,6 @@ Run with::
     python examples/pairwise_scan.py
 """
 
-import numpy as np
-
 from repro import TycosConfig
 from repro.analysis import scan_pairs
 from repro.data.energy import simulate_energy

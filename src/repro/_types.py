@@ -1,0 +1,33 @@
+"""Shared static-typing aliases for the repro package.
+
+Centralizing the ndarray aliases keeps signatures short and makes the
+dtype conventions explicit: the numerical pipeline works in float64
+end-to-end, and index arrays are int64.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = ["FloatArray", "IntArray", "AnyArray", "ArrayPair", "WindowKey", "Scorer"]
+
+#: A 1-D or 2-D array of float64 samples.
+FloatArray = npt.NDArray[np.float64]
+
+#: An array of int64 indices or counts.
+IntArray = npt.NDArray[np.int64]
+
+#: Anything numpy can coerce into an array (accepted at API boundaries).
+AnyArray = npt.ArrayLike
+
+#: A paired (x, y) sample extracted from a window.
+ArrayPair = Tuple[FloatArray, FloatArray]
+
+#: Hashable identity of a TimeDelayWindow: (start, end, delay).
+WindowKey = Tuple[int, int, int]
+
+#: A window -> objective-value callable (the search's scoring interface).
+Scorer = Callable[[Any], float]

@@ -14,10 +14,9 @@ disk, a database cursor, or an mmap without materializing the series.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
-import numpy as np
-
+from repro._types import FloatArray
 from repro.core.config import TycosConfig
 from repro.core.results import ResultSet, WindowResult
 from repro.core.tycos import Tycos
@@ -38,11 +37,11 @@ class ChunkedResult:
 
 
 def chunk_pair(
-    x: np.ndarray,
-    y: np.ndarray,
+    x: FloatArray,
+    y: FloatArray,
     chunk: int,
     overlap: int,
-) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+) -> Iterator[Tuple[int, FloatArray, FloatArray]]:
     """Split a pair into overlapping chunks ``(offset, x_chunk, y_chunk)``.
 
     Args:
@@ -64,9 +63,9 @@ def chunk_pair(
 
 
 def search_chunked(
-    chunks: Iterable[Tuple[int, np.ndarray, np.ndarray]],
+    chunks: Iterable[Tuple[int, FloatArray, FloatArray]],
     config: TycosConfig,
-    engine: Tycos | None = None,
+    engine: Optional[Tycos] = None,
 ) -> ChunkedResult:
     """Run TYCOS per chunk and merge the windows globally.
 

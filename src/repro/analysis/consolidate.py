@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
-
+from repro._types import AnyArray
 from repro.core.results import WindowResult
 from repro.core.thresholds import WindowScore
 from repro.core.window import PairView, TimeDelayWindow
@@ -39,8 +38,8 @@ def _rescore(pair: PairView, window: TimeDelayWindow, estimator: KSGEstimator) -
 
 def consolidate_windows(
     results: Sequence[WindowResult],
-    x: Optional[np.ndarray] = None,
-    y: Optional[np.ndarray] = None,
+    x: Optional[AnyArray] = None,
+    y: Optional[AnyArray] = None,
     delay_tol: int = 2,
     gap_tol: int = 0,
     k: int = 4,

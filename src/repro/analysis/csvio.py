@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro._types import FloatArray
 from repro.analysis.pairwise import scan_pairs
 from repro.core.config import TycosConfig
 from repro.core.tycos import Tycos
@@ -33,7 +34,7 @@ def read_csv_series(
     path: str | Path,
     columns: Optional[Sequence[str]] = None,
     delimiter: str = ",",
-) -> Dict[str, np.ndarray]:
+) -> Dict[str, FloatArray]:
     """Read named time series from a header-row CSV file.
 
     Args:
@@ -76,7 +77,7 @@ def read_csv_series(
                         f"{path}:{row_no}: column {name!r} is not numeric: "
                         f"{row[col] if col < len(row) else '<missing>'!r}"
                     ) from exc
-    return {name: np.asarray(values) for name, values in data.items()}
+    return {name: np.asarray(values, dtype=np.float64) for name, values in data.items()}
 
 
 def _build_config(args: argparse.Namespace) -> TycosConfig:

@@ -14,6 +14,7 @@ from typing import List
 
 import numpy as np
 
+from repro._types import AnyArray, FloatArray, IntArray
 from repro.baselines.pearson import pcc
 from repro.core.window import PairView, TimeDelayWindow
 from repro.mi.entropy import binned_joint_entropy
@@ -64,7 +65,7 @@ class WindowInspection:
         )
 
 
-def ascii_scatter(x: np.ndarray, y: np.ndarray, width: int = 48, height: int = 16) -> str:
+def ascii_scatter(x: AnyArray, y: AnyArray, width: int = 48, height: int = 16) -> str:
     """Render a paired sample as an ASCII scatter plot.
 
     Args:
@@ -84,7 +85,7 @@ def ascii_scatter(x: np.ndarray, y: np.ndarray, width: int = 48, height: int = 1
     if width < 2 or height < 2:
         raise ValueError("width and height must be >= 2")
 
-    def bins(values: np.ndarray, count: int) -> np.ndarray:
+    def bins(values: FloatArray, count: int) -> IntArray:
         lo = values.min()
         span = values.max() - lo
         if span <= 0:
@@ -110,8 +111,8 @@ def ascii_scatter(x: np.ndarray, y: np.ndarray, width: int = 48, height: int = 1
 
 
 def inspect_window(
-    x: np.ndarray,
-    y: np.ndarray,
+    x: AnyArray,
+    y: AnyArray,
     window: TimeDelayWindow,
     k: int = 4,
 ) -> WindowInspection:

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro._types import FloatArray
 from repro.core.config import TycosConfig
 from repro.core.tycos import Tycos, TycosResult
 from repro.experiments.reporting import format_table, title
@@ -70,7 +71,7 @@ class PairwiseReport:
     def to_text(self) -> str:
         """Render the correlated pairs as a summary table."""
         headers = ["pair", "windows", "best nmi", "delay range"]
-        rows = []
+        rows: List[List[object]] = []
         for f in self.correlated():
             delays = "-" if f.delay_range is None else f"[{f.delay_range[0]}, {f.delay_range[1]}]"
             rows.append([f"{f.source} -> {f.target}", f.windows, f"{f.best_nmi:.2f}", delays])
@@ -80,8 +81,8 @@ class PairwiseReport:
 
 
 def prefilter_score(
-    x: np.ndarray,
-    y: np.ndarray,
+    x: FloatArray,
+    y: FloatArray,
     probe: int = 128,
     stride: int = 3,
     td_max: int = 0,
@@ -117,7 +118,7 @@ def prefilter_score(
 
 
 def scan_pairs(
-    series: Dict[str, np.ndarray],
+    series: Dict[str, FloatArray],
     config: TycosConfig,
     pairs: Optional[Iterable[Tuple[str, str]]] = None,
     prefilter_threshold: float = 0.0,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.core.config import TycosConfig
 from repro.core.results import WindowResult
@@ -79,7 +79,7 @@ def _window_from_dict(payload: Dict[str, Any]) -> WindowResult:
     )
 
 
-def result_to_dict(result: TycosResult, config: TycosConfig | None = None) -> Dict[str, Any]:
+def result_to_dict(result: TycosResult, config: Optional[TycosConfig] = None) -> Dict[str, Any]:
     """A JSON-ready mapping of a search result (optionally with its config)."""
     stats = result.stats
     payload: Dict[str, Any] = {
@@ -123,7 +123,9 @@ def result_from_dict(payload: Dict[str, Any]) -> TycosResult:
     return TycosResult(windows=windows, stats=stats)
 
 
-def save_result(result: TycosResult, path: str | Path, config: TycosConfig | None = None) -> None:
+def save_result(
+    result: TycosResult, path: str | Path, config: Optional[TycosConfig] = None
+) -> None:
     """Write a search result to a JSON file."""
     payload = result_to_dict(result, config=config)
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))

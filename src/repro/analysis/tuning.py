@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro._types import AnyArray
 from repro.core.config import TycosConfig
 from repro.core.tycos import Tycos
 from repro.experiments.reporting import format_table, title
@@ -51,7 +52,7 @@ class SigmaSweep:
     def to_text(self) -> str:
         """Render the sweep as a table."""
         headers = ["sigma", "windows", "mean nmi", "runtime (s)"]
-        rows = [
+        rows: List[List[object]] = [
             [f"{p.sigma:.2f}", p.windows, f"{p.mean_nmi:.2f}", f"{p.runtime_seconds:.2f}"]
             for p in self.points
         ]
@@ -59,8 +60,8 @@ class SigmaSweep:
 
 
 def sigma_sweep(
-    x: np.ndarray,
-    y: np.ndarray,
+    x: AnyArray,
+    y: AnyArray,
     config: TycosConfig,
     sigmas: Sequence[float] = (0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6),
     subsample: Optional[int] = 2000,

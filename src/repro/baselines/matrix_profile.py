@@ -74,7 +74,9 @@ def matrix_profile_ab(
     for i in range(n_a):
         if i > 0:
             # d(i, j) = d(i-1, j-1) - a[i-1]*b[j-1] + a[i+m-1]*b[j+m-1]
-            qt[1:] = qt_first_prev[:-1] - a[i - 1] * b[: n_b - 1] + a[i + m - 1] * b[m : m + n_b - 1]
+            qt[1:] = (
+                qt_first_prev[:-1] - a[i - 1] * b[: n_b - 1] + a[i + m - 1] * b[m : m + n_b - 1]
+            )
             qt[0] = np.dot(a[i : i + m], b[:m])
         qt_first_prev = qt.copy()
         dist_sq = np.full(n_b, 2.0 * m)

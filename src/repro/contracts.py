@@ -1,0 +1,141 @@
+"""Runtime contract checks for TYCOS's numerical invariants.
+
+The correctness of the search rests on a handful of fragile invariants
+that are easy to violate silently during refactors:
+
+* KSG MI estimates must be finite (Papana & Kugiumtzis document how
+  degenerate sample layouts push k-NN estimators to ``inf``/``nan``);
+* normalized MI (Eq. 18) must stay inside [0, 1] after clamping;
+* every window handed to an estimator must satisfy the feasibility
+  constraints of Defs. 4.2-4.5;
+* paired series must be equal-length 1-D float arrays of finite values.
+
+This module machine-enforces them at the estimator/search boundaries.
+Checks are **off by default** so hot paths pay (almost) nothing; set the
+environment variable ``REPRO_CHECKS=1`` to enable them, e.g.::
+
+    REPRO_CHECKS=1 python -m pytest
+
+Violations raise :class:`ContractViolation` with a message naming the
+call site, the offending value and the invariant it broke.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoids a repro.core <-> repro.mi import cycle at runtime
+    from repro.core.window import TimeDelayWindow
+
+__all__ = [
+    "ContractViolation",
+    "checks_enabled",
+    "override_checks",
+    "check_mi_finite",
+    "check_nmi_range",
+    "check_window_feasible",
+    "check_series_shape",
+]
+
+
+class ContractViolation(AssertionError, ValueError):
+    """A numerical invariant of the TYCOS pipeline was broken at runtime.
+
+    Inherits both :class:`AssertionError` (a contract is an assertion about
+    internal invariants) and :class:`ValueError` (at API boundaries a
+    violation rejects an invalid value), so enabling ``REPRO_CHECKS`` never
+    changes the exception types public APIs are documented to raise.
+    """
+
+
+# Tri-state override used by tests and by callers that want contracts on
+# regardless of the environment: None defers to REPRO_CHECKS.
+_override: Optional[bool] = None
+
+# The environment is read once at import; `override_checks` covers the
+# test-time toggling use case without per-call getenv costs.
+_ENV_ENABLED: bool = os.environ.get("REPRO_CHECKS", "").strip() not in ("", "0", "false", "off")
+
+
+def checks_enabled() -> bool:
+    """True when contract checks are active (env flag or explicit override)."""
+    if _override is not None:
+        return _override
+    return _ENV_ENABLED
+
+
+class override_checks:
+    """Context manager forcing contracts on/off regardless of ``REPRO_CHECKS``.
+
+    Usage::
+
+        with override_checks(True):
+            ...  # contracts raise on violation here
+    """
+
+    def __init__(self, enabled: bool):
+        self._enabled = enabled
+        self._saved: Optional[bool] = None
+
+    def __enter__(self) -> "override_checks":
+        global _override
+        self._saved = _override
+        _override = self._enabled
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _override
+        _override = self._saved
+
+
+def check_mi_finite(mi: float, where: str = "mi") -> float:
+    """Contract: an MI estimate must be a finite float (nats).
+
+    Returns the value unchanged so call sites can wrap expressions.
+    """
+    if not np.isfinite(mi):
+        raise ContractViolation(f"{where}: MI estimate must be finite, got {mi!r}")
+    return mi
+
+
+def check_nmi_range(nmi: float, where: str = "nmi") -> float:
+    """Contract: normalized MI (Eq. 18) must lie in [0, 1] after clamping."""
+    if not np.isfinite(nmi) or nmi < 0.0 or nmi > 1.0:
+        raise ContractViolation(f"{where}: normalized MI must be in [0, 1], got {nmi!r}")
+    return nmi
+
+
+def check_window_feasible(
+    window: "TimeDelayWindow",
+    n: int,
+    s_min: int,
+    s_max: int,
+    td_max: int,
+    where: str = "window",
+) -> "TimeDelayWindow":
+    """Contract: a window must satisfy the Defs. 4.2-4.5 feasibility bounds."""
+    if not window.is_feasible(n=n, s_min=s_min, s_max=s_max, td_max=td_max):
+        raise ContractViolation(
+            f"{where}: {window} is infeasible for n={n}, "
+            f"s_min={s_min}, s_max={s_max}, td_max={td_max}"
+        )
+    return window
+
+
+def check_series_shape(x: np.ndarray, y: np.ndarray, where: str = "series") -> None:
+    """Contract: a series pair must be equal-length, 1-D, non-empty, finite."""
+    if x.ndim != 1 or y.ndim != 1:
+        raise ContractViolation(
+            f"{where}: series must be 1-D, got shapes {x.shape} and {y.shape}"
+        )
+    if x.size != y.size:
+        raise ContractViolation(
+            f"{where}: series must have equal length, got {x.size} and {y.size}"
+        )
+    if x.size == 0:
+        raise ContractViolation(f"{where}: series must be non-empty")
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        raise ContractViolation(f"{where}: series must contain only finite values")

@@ -10,7 +10,7 @@ idle budget, the delta moving step, the KSG ``k``).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import Any, List, Optional
 
 __all__ = ["TycosConfig", "ENERGY_CONFIG", "SMARTCITY_CONFIG"]
 
@@ -121,7 +121,7 @@ class TycosConfig:
             tau += step
         return sorted(grid)
 
-    def scaled(self, **changes) -> "TycosConfig":
+    def scaled(self, **changes: Any) -> "TycosConfig":
         """A copy with some fields replaced (convenience for sweeps)."""
         return replace(self, **changes)
 

@@ -67,7 +67,9 @@ class LateAcceptanceHillClimbing(Generic[S]):
             raise ValueError(f"max_idle must be >= 1, got {max_idle}")
         self._history_length = history_length
         self._max_idle = max_idle
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # A fixed-seed fallback keeps standalone ascents deterministic;
+        # TYCOS always passes a generator seeded from TycosConfig.seed.
+        self._rng = rng if rng is not None else np.random.default_rng(0)
 
     def search(
         self,

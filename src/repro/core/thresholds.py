@@ -20,6 +20,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import contracts
+from repro._types import FloatArray, WindowKey
 from repro.core.config import TycosConfig
 from repro.core.window import PairView, TimeDelayWindow
 from repro.mi.entropy import binned_joint_entropy
@@ -54,11 +56,11 @@ class BatchScorer:
         cache_hits: number of scores served from the memo table.
     """
 
-    def __init__(self, pair: PairView, config: TycosConfig):
+    def __init__(self, pair: PairView, config: TycosConfig) -> None:
         self._pair = pair
         self._config = config
         self._estimator = KSGEstimator(k=config.k)
-        self._cache: Dict[Tuple[int, int, int], WindowScore] = {}
+        self._cache: Dict[WindowKey, WindowScore] = {}
         self.evaluations = 0
         self.cache_hits = 0
 
@@ -75,6 +77,9 @@ class BatchScorer:
         score = WindowScore(
             mi=mi, nmi=normalize_value(mi, entropy), ratio=normalize_ratio(mi, entropy)
         )
+        if contracts.checks_enabled():
+            contracts.check_mi_finite(score.mi, where="BatchScorer.score")
+            contracts.check_nmi_range(score.nmi, where="BatchScorer.score")
         self._cache[key] = score
         self.evaluations += 1
         return score
@@ -107,7 +112,7 @@ class IncrementalScorer(BatchScorer):
     #: engine maintenance (measured crossover of the two Python paths).
     min_engine_size = 96
 
-    def __init__(self, pair: PairView, config: TycosConfig):
+    def __init__(self, pair: PairView, config: TycosConfig) -> None:
         super().__init__(pair, config)
         self._engine = SlidingKSG(k=config.k)
         self._base: Optional[TimeDelayWindow] = None
@@ -157,7 +162,11 @@ class IncrementalScorer(BatchScorer):
                 # current solution for the ring neighbors that follow.
                 xw, yw = self._pair.extract(window)
                 return self._finish(window, self._estimator.mi(xw, yw), xw, yw)
-        if base is None or base.delay != window.delay or self._diff_cost(base, window) >= window.size:
+        if (
+            base is None
+            or base.delay != window.delay
+            or self._diff_cost(base, window) >= window.size
+        ):
             xw, yw = self._pair.extract(window)
             self._engine.reset(xw, yw, ids=window.x_indices())
         else:
@@ -181,11 +190,16 @@ class IncrementalScorer(BatchScorer):
         xw, yw = self._pair.extract(window)
         return self._finish(window, mi, xw, yw)
 
-    def _finish(self, window: TimeDelayWindow, mi: float, xw, yw) -> WindowScore:
+    def _finish(
+        self, window: TimeDelayWindow, mi: float, xw: FloatArray, yw: FloatArray
+    ) -> WindowScore:
         entropy = binned_joint_entropy(xw, yw)
         score = WindowScore(
             mi=mi, nmi=normalize_value(mi, entropy), ratio=normalize_ratio(mi, entropy)
         )
+        if contracts.checks_enabled():
+            contracts.check_mi_finite(score.mi, where="IncrementalScorer.score")
+            contracts.check_nmi_range(score.nmi, where="IncrementalScorer.score")
         self._cache[window.key()] = score
         self.evaluations += 1
         return score
@@ -214,11 +228,11 @@ class TopKFilter:
     progressively tightens its own acceptance bar.
     """
 
-    def __init__(self, capacity: int, initial_sigma: float = 0.0):
+    def __init__(self, capacity: int, initial_sigma: float = 0.0) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._heap: List[Tuple[float, Tuple[int, int, int], TimeDelayWindow]] = []
+        self._heap: List[Tuple[float, WindowKey, TimeDelayWindow]] = []
         self._initial_sigma = initial_sigma
 
     @property

@@ -27,6 +27,8 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import contracts
+from repro._types import AnyArray
 from repro.core.config import TycosConfig
 from repro.core.lahc import LateAcceptanceHillClimbing
 from repro.core.neighborhood import neighborhood
@@ -114,7 +116,7 @@ class Tycos:
         use_noise: bool = True,
         use_incremental: bool = True,
         overlap_policy: OverlapPolicy = OverlapPolicy.CONTAINMENT,
-    ):
+    ) -> None:
         self.config = config
         self.use_noise = use_noise
         self.use_incremental = use_incremental
@@ -132,7 +134,7 @@ class Tycos:
 
     # ------------------------------------------------------------------ #
 
-    def search(self, x: np.ndarray, y: np.ndarray) -> TycosResult:
+    def search(self, x: AnyArray, y: AnyArray) -> TycosResult:
         """Find all correlated time delay windows of a pair (Algorithm 1/2).
 
         Args:
@@ -146,6 +148,8 @@ class Tycos:
         started = time.perf_counter()
         cfg = self.config
         pair = PairView(x, y, jitter=cfg.jitter, seed=cfg.seed)
+        if contracts.checks_enabled():
+            contracts.check_series_shape(pair.x, pair.y, where="Tycos.search")
         scorer = make_scorer(pair, cfg, incremental=self.use_incremental)
         rng = np.random.default_rng(cfg.seed)
         lahc = LateAcceptanceHillClimbing(cfg.history_length, cfg.max_idle, rng)
@@ -168,7 +172,7 @@ class Tycos:
         stats.runtime_seconds = time.perf_counter() - started
         return TycosResult(windows=accepted.results(), stats=stats)
 
-    def search_topk(self, x: np.ndarray, y: np.ndarray, k_top: int) -> TycosResult:
+    def search_topk(self, x: AnyArray, y: AnyArray, k_top: int) -> TycosResult:
         """Top-K variant (Section 6.3.2): keep the K best windows found.
 
         The effective sigma starts at the first window's score and tightens
@@ -177,6 +181,8 @@ class Tycos:
         started = time.perf_counter()
         cfg = self.config
         pair = PairView(x, y, jitter=cfg.jitter, seed=cfg.seed)
+        if contracts.checks_enabled():
+            contracts.check_series_shape(pair.x, pair.y, where="Tycos.search_topk")
         scorer = make_scorer(pair, cfg, incremental=self.use_incremental)
         rng = np.random.default_rng(cfg.seed)
         lahc = LateAcceptanceHillClimbing(cfg.history_length, cfg.max_idle, rng)
@@ -208,8 +214,8 @@ class Tycos:
     def _drive(
         self,
         pair: PairView,
-        scorer,
-        lahc: LateAcceptanceHillClimbing,
+        scorer: BatchScorer,
+        lahc: "LateAcceptanceHillClimbing[TimeDelayWindow]",
         detector: Optional[NoiseDetector],
         stats: SearchStats,
         passes_threshold: Callable[[float], bool],
@@ -231,7 +237,9 @@ class Tycos:
                 scorer.follow_delay(w0.delay)
             last_seen: List[Optional[TimeDelayWindow]] = [None]
 
-            def candidates(current: TimeDelayWindow, idle: int):
+            def candidates(
+                current: TimeDelayWindow, idle: int
+            ) -> List[Tuple[TimeDelayWindow, float]]:
                 if last_seen[0] != current:
                     if isinstance(scorer, IncrementalScorer):
                         scorer.follow_delay(current.delay)
@@ -264,12 +272,21 @@ class Tycos:
             best, best_value = ascent.best, ascent.best_value
             if passes_threshold(best_value) and self._is_significant(pair, best, scorer):
                 score = scorer.score(best)
+                if contracts.checks_enabled():
+                    contracts.check_window_feasible(
+                        best, n=n, s_min=cfg.s_min, s_max=cfg.s_max,
+                        td_max=cfg.td_max, where="Tycos accepted window",
+                    )
+                    contracts.check_mi_finite(score.mi, where="Tycos accepted window")
+                    contracts.check_nmi_range(score.nmi, where="Tycos accepted window")
                 accept(WindowResult(window=best, mi=score.mi, nmi=score.nmi), best_value)
                 scan_from = max(scan_from + cfg.s_min, best.end + 1, w0.end + 1)
             else:
                 scan_from = max(scan_from + cfg.s_min, w0.end + 1)
 
-    def _is_significant(self, pair: PairView, window: TimeDelayWindow, scorer) -> bool:
+    def _is_significant(
+        self, pair: PairView, window: TimeDelayWindow, scorer: BatchScorer
+    ) -> bool:
         """Permutation test: the window's MI must beat every within-window
         shuffle of Y (disabled when ``significance_permutations`` is 0)."""
         b = self.config.significance_permutations
@@ -288,7 +305,7 @@ class Tycos:
 
     def _initial_window(
         self,
-        scorer,
+        scorer: BatchScorer,
         n: int,
         scan_from: int,
         detector: Optional[NoiseDetector],

@@ -10,9 +10,10 @@ Y), covering all shifting scenarios of Fig. 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
+
+from repro._types import AnyArray, ArrayPair, FloatArray, WindowKey
 
 __all__ = ["TimeDelayWindow", "PairView"]
 
@@ -116,7 +117,7 @@ class TimeDelayWindow:
             delay=self.delay + d_delay,
         )
 
-    def key(self) -> Tuple[int, int, int]:
+    def key(self) -> WindowKey:
         """Hashable identity used by caches."""
         return (self.start, self.end, self.delay)
 
@@ -140,13 +141,16 @@ class PairView:
         seed: seed for the jitter noise.
     """
 
+    x: FloatArray
+    y: FloatArray
+
     def __init__(
         self,
-        x: np.ndarray,
-        y: np.ndarray,
+        x: AnyArray,
+        y: AnyArray,
         jitter: float = 0.0,
         seed: int = 0,
-    ):
+    ) -> None:
         x = np.asarray(x, dtype=np.float64).ravel()
         y = np.asarray(y, dtype=np.float64).ravel()
         if x.size != y.size:
@@ -170,7 +174,7 @@ class PairView:
         """Length of the observation period."""
         return self.x.size
 
-    def extract(self, window: TimeDelayWindow) -> Tuple[np.ndarray, np.ndarray]:
+    def extract(self, window: TimeDelayWindow) -> ArrayPair:
         """The paired sub-series ``(X_w, Y_w)`` of a window (Def. 4.4/4.5).
 
         Raises:

@@ -193,9 +193,13 @@ def simulate_energy(
             _pulse(series["bathroom_light"], t0, mins(rng.uniform(8, 18)), 12.0 * intensity, rng)
             lag = mins(rng.uniform(1, 5))
             kl_start = t0 + lag
-            _pulse(series["kitchen_light"], kl_start, mins(rng.uniform(20, 40)), 10.0 * intensity, rng)
+            _pulse(
+                series["kitchen_light"], kl_start, mins(rng.uniform(20, 40)), 10.0 * intensity, rng
+            )
             lag2 = mins(rng.uniform(0, 2))
-            _pulse(series["microwave"], kl_start + lag2, mins(rng.uniform(2, 5)), 70.0 * intensity, rng)
+            _pulse(
+                series["microwave"], kl_start + lag2, mins(rng.uniform(2, 5)), 70.0 * intensity, rng
+            )
             events.append(("bathroom_light", t0))
             events.append(("kitchen_light", kl_start))
 
@@ -207,9 +211,17 @@ def simulate_energy(
         for _ in range(n_evenings):
             t0 = idx(day, rng.uniform(19.0, 21.0))
             intensity = rng.uniform(0.6, 1.4)
-            _pulse(series["children_room_light"], t0, mins(rng.uniform(8, 14)), 9.0 * intensity, rng)
+            _pulse(
+                series["children_room_light"], t0, mins(rng.uniform(8, 14)), 9.0 * intensity, rng
+            )
             lag = mins(rng.uniform(15, 40))
-            _pulse(series["living_room_light"], t0 + lag, mins(rng.uniform(60, 120)), 11.0 * intensity, rng)
+            _pulse(
+                series["living_room_light"],
+                t0 + lag,
+                mins(rng.uniform(60, 120)),
+                11.0 * intensity,
+                rng,
+            )
             events.append(("children_room_light", t0))
             events.append(("living_room_light", t0 + lag))
 

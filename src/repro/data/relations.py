@@ -136,7 +136,9 @@ RELATIONS: Dict[str, RelationSpec] = {
             True,
             _quartic,
         ),
-        RelationSpec("square_root", "y = sqrt(x), x in [0,25]", True, True, False, True, _square_root),
+        RelationSpec(
+            "square_root", "y = sqrt(x), x in [0,25]", True, True, False, True, _square_root
+        ),
     ]
 }
 

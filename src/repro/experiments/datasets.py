@@ -28,7 +28,9 @@ _MIXES: Dict[str, Tuple[str, ...]] = {
 }
 
 
-def synthetic_pair(name: str, n: int, seed: int = 0, delay: int = 25) -> Tuple[np.ndarray, np.ndarray]:
+def synthetic_pair(
+    name: str, n: int, seed: int = 0, delay: int = 25
+) -> Tuple[np.ndarray, np.ndarray]:
     """A synthetic pair of roughly ``n`` samples with a known relation mix.
 
     Segments and separating gaps are scaled so the requested length is

@@ -32,8 +32,10 @@ class Fig11Result:
         """Render both panels' series."""
         lines = [title("Fig 11: noise threshold sweep")]
         for ds in self.error_rate:
-            lines.append(format_series(f"{ds} error-rate", self.ratios, [f"{v:.2f}" for v in self.error_rate[ds]]))
-            lines.append(format_series(f"{ds} runtime-gain", self.ratios, [f"{v:.2f}" for v in self.runtime_gain[ds]]))
+            error_values = [f"{v:.2f}" for v in self.error_rate[ds]]
+            gain_values = [f"{v:.2f}" for v in self.runtime_gain[ds]]
+            lines.append(format_series(f"{ds} error-rate", self.ratios, error_values))
+            lines.append(format_series(f"{ds} runtime-gain", self.ratios, gain_values))
         return "\n".join(lines)
 
 

@@ -21,10 +21,12 @@ from __future__ import annotations
 import numpy as np
 from scipy.special import digamma
 
+from repro._types import AnyArray, FloatArray, IntArray
+
 __all__ = ["ksg_cmi", "transfer_entropy"]
 
 
-def _marginal_count_nd(points: np.ndarray, radii: np.ndarray) -> np.ndarray:
+def _marginal_count_nd(points: FloatArray, radii: FloatArray) -> IntArray:
     """For each row, count other rows within its max-norm radius (strict)."""
     m = points.shape[0]
     counts = np.empty(m, dtype=np.int64)
@@ -35,9 +37,9 @@ def _marginal_count_nd(points: np.ndarray, radii: np.ndarray) -> np.ndarray:
 
 
 def ksg_cmi(
-    x: np.ndarray,
-    y: np.ndarray,
-    z: np.ndarray,
+    x: AnyArray,
+    y: AnyArray,
+    z: AnyArray,
     k: int = 4,
 ) -> float:
     """Frenzel-Pompe KSG estimate of I(X; Y | Z) in nats.
@@ -80,8 +82,8 @@ def ksg_cmi(
 
 
 def transfer_entropy(
-    source: np.ndarray,
-    target: np.ndarray,
+    source: AnyArray,
+    target: AnyArray,
     lag: int = 1,
     k: int = 4,
 ) -> float:

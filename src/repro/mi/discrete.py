@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._types import AnyArray, FloatArray
+
 __all__ = ["discrete_mi", "discrete_entropy_from_joint", "empirical_joint"]
 
 
-def empirical_joint(x_labels: np.ndarray, y_labels: np.ndarray) -> np.ndarray:
+def empirical_joint(x_labels: AnyArray, y_labels: AnyArray) -> FloatArray:
     """Empirical joint probability table of two paired discrete samples.
 
     Args:
@@ -38,7 +40,7 @@ def empirical_joint(x_labels: np.ndarray, y_labels: np.ndarray) -> np.ndarray:
     return table / x_labels.size
 
 
-def _validate_joint(joint: np.ndarray) -> np.ndarray:
+def _validate_joint(joint: AnyArray) -> FloatArray:
     joint = np.asarray(joint, dtype=np.float64)
     if joint.ndim != 2:
         raise ValueError("joint must be a 2-D probability table")
@@ -50,7 +52,7 @@ def _validate_joint(joint: np.ndarray) -> np.ndarray:
     return joint
 
 
-def discrete_mi(joint: np.ndarray) -> float:
+def discrete_mi(joint: AnyArray) -> float:
     """Mutual information (nats) of a joint probability table (Eq. 1)."""
     joint = _validate_joint(joint)
     px = joint.sum(axis=1, keepdims=True)
@@ -62,7 +64,7 @@ def discrete_mi(joint: np.ndarray) -> float:
     return float(np.sum(joint[mask] * np.log(ratio[mask])))
 
 
-def discrete_entropy_from_joint(joint: np.ndarray) -> float:
+def discrete_entropy_from_joint(joint: AnyArray) -> float:
     """Joint Shannon entropy (nats) of a probability table."""
     joint = _validate_joint(joint)
     p = joint[joint > 0]

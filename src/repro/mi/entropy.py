@@ -15,13 +15,17 @@ Three estimators are provided:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 from scipy.special import digamma
+
+from repro._types import AnyArray, IntArray
 
 __all__ = ["discrete_entropy", "binned_joint_entropy", "kl_entropy", "default_bins"]
 
 
-def discrete_entropy(labels: np.ndarray) -> float:
+def discrete_entropy(labels: AnyArray) -> float:
     """Plug-in Shannon entropy (nats) of a discrete sample.
 
     Args:
@@ -48,7 +52,7 @@ def default_bins(m: int) -> int:
     return max(2, int(np.ceil(np.sqrt(m / 5.0))))
 
 
-def binned_joint_entropy(x: np.ndarray, y: np.ndarray, bins: int | None = None) -> float:
+def binned_joint_entropy(x: AnyArray, y: AnyArray, bins: Optional[int] = None) -> float:
     """Plug-in joint entropy (nats) of a continuous pair after binning.
 
     Args:
@@ -76,7 +80,7 @@ def binned_joint_entropy(x: np.ndarray, y: np.ndarray, bins: int | None = None) 
     return float(-np.sum(p * np.log(p)))
 
 
-def _flat_bin_index(values: np.ndarray, bins: int) -> np.ndarray:
+def _flat_bin_index(values: np.ndarray, bins: int) -> IntArray:
     """Equal-width bin index of each value over its own [min, max] range."""
     lo = values.min()
     span = values.max() - lo
@@ -86,7 +90,7 @@ def _flat_bin_index(values: np.ndarray, bins: int) -> np.ndarray:
     return np.minimum(idx, bins - 1)
 
 
-def kl_entropy(points: np.ndarray, k: int = 4) -> float:
+def kl_entropy(points: AnyArray, k: int = 4) -> float:
     """Kozachenko--Leonenko differential entropy estimate (nats).
 
     Uses the Euclidean-ball form

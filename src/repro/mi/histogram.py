@@ -11,14 +11,17 @@ exactly that finding.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro._types import AnyArray
 from repro.mi.entropy import default_bins
 
 __all__ = ["histogram_mi"]
 
 
-def histogram_mi(x: np.ndarray, y: np.ndarray, bins: int | None = None) -> float:
+def histogram_mi(x: AnyArray, y: AnyArray, bins: Optional[int] = None) -> float:
     """Binned plug-in estimate of I(X; Y) in nats.
 
     Args:

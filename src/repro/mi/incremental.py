@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import contracts
 from repro.mi.ksg import KSGEstimator
 from repro.mi.neighbors import KnnResult, chebyshev_knn_bruteforce
 
@@ -64,7 +65,7 @@ class SlidingKSG:
             replacements triggered by Lemma 3.
     """
 
-    def __init__(self, k: int = 4, algorithm: int = 2):
+    def __init__(self, k: int = 4, algorithm: int = 2) -> None:
         self._estimator = KSGEstimator(k=k, algorithm=algorithm, backend="bruteforce")
         self.k = k
         self.algorithm = algorithm
@@ -117,7 +118,9 @@ class SlidingKSG:
     # ------------------------------------------------------------------ #
     # mutation
 
-    def reset(self, x: Iterable[float], y: Iterable[float], ids: Optional[Iterable[int]] = None) -> None:
+    def reset(
+        self, x: Iterable[float], y: Iterable[float], ids: Optional[Iterable[int]] = None
+    ) -> None:
         """Replace the entire point set and rebuild neighbor structures."""
         xs = [float(v) for v in x]
         ys = [float(v) for v in y]
@@ -261,7 +264,10 @@ class SlidingKSG:
             eps_y=self._buf_epsy[:m],
             indices=np.empty((m, 0), dtype=np.int64),
         )
-        return self._estimator.mi_from_geometry(x, y, geometry, self.k)
+        value = self._estimator.mi_from_geometry(x, y, geometry, self.k)
+        if contracts.checks_enabled():
+            contracts.check_mi_finite(value, where="SlidingKSG.mi")
+        return value
 
     def neighbor_ids(self, point_id: int) -> Tuple[int, ...]:
         """Ids of ``point_id``'s current k nearest neighbors (for tests)."""
@@ -287,7 +293,9 @@ class SlidingKSG:
         for i, pid in enumerate(self._ids):
             entries: List[_Neighbor] = []
             for j in knn.indices[i]:
-                entries.append((float(max(dx[i, j], dy[i, j])), float(dx[i, j]), float(dy[i, j]), self._ids[j]))
+                entries.append(
+                    (float(max(dx[i, j], dy[i, j])), float(dx[i, j]), float(dy[i, j]), self._ids[j])
+                )
                 self._reverse[self._ids[j]].add(pid)
             self._neighbors[pid] = entries
         self.full_searches += len(self._ids)

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._types import AnyArray, FloatArray
+
 __all__ = ["kde_mi", "silverman_bandwidth"]
 
 
-def silverman_bandwidth(values: np.ndarray) -> float:
+def silverman_bandwidth(values: AnyArray) -> float:
     """Silverman's rule-of-thumb bandwidth for a 1-D Gaussian KDE."""
     values = np.asarray(values, dtype=np.float64).ravel()
     if values.size < 2:
@@ -31,14 +33,14 @@ def silverman_bandwidth(values: np.ndarray) -> float:
     return float(0.9 * scale * values.size ** (-0.2))
 
 
-def _gaussian_kde_1d(values: np.ndarray, h: float) -> np.ndarray:
+def _gaussian_kde_1d(values: FloatArray, h: float) -> FloatArray:
     """Leave-none-out resubstitution density of each sample point."""
     diffs = (values[:, None] - values[None, :]) / h
     kernel = np.exp(-0.5 * diffs * diffs)
     return kernel.sum(axis=1) / (values.size * h * np.sqrt(2 * np.pi))
 
 
-def kde_mi(x: np.ndarray, y: np.ndarray, bandwidth_scale: float = 1.0) -> float:
+def kde_mi(x: AnyArray, y: AnyArray, bandwidth_scale: float = 1.0) -> float:
     """KDE (resubstitution) estimate of I(X; Y) in nats.
 
     Args:

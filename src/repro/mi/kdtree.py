@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro._types import AnyArray, FloatArray, IntArray
 from repro.mi.neighbors import KnnResult
 
 __all__ = ["KDTree", "chebyshev_knn_kdtree"]
@@ -35,7 +36,7 @@ class _Node:
 
     lo: Tuple[float, float]
     hi: Tuple[float, float]
-    indices: Optional[np.ndarray] = None  # leaf payload
+    indices: Optional[IntArray] = None  # leaf payload
     axis: int = 0
     threshold: float = 0.0
     left: Optional["_Node"] = None
@@ -46,7 +47,9 @@ class _Node:
         return self.indices is not None
 
 
-def _box_distance(lo, hi, qx: float, qy: float) -> float:
+def _box_distance(
+    lo: Tuple[float, float], hi: Tuple[float, float], qx: float, qy: float
+) -> float:
     """Chebyshev distance from a query point to an axis-aligned box."""
     dx = max(lo[0] - qx, 0.0, qx - hi[0])
     dy = max(lo[1] - qy, 0.0, qy - hi[1])
@@ -64,7 +67,7 @@ class KDTree:
     indices, never copies of the points.
     """
 
-    def __init__(self, x: np.ndarray, y: np.ndarray):
+    def __init__(self, x: AnyArray, y: AnyArray) -> None:
         x = np.asarray(x, dtype=np.float64).ravel()
         y = np.asarray(y, dtype=np.float64).ravel()
         if x.size != y.size:
@@ -78,7 +81,13 @@ class KDTree:
         hi = (float(x.max()), float(y.max()))
         self._root = self._build(indices, lo, hi, depth=0)
 
-    def _build(self, indices: np.ndarray, lo, hi, depth: int) -> _Node:
+    def _build(
+        self,
+        indices: IntArray,
+        lo: Tuple[float, float],
+        hi: Tuple[float, float],
+        depth: int,
+    ) -> _Node:
         if indices.size <= _LEAF_SIZE:
             return _Node(lo=lo, hi=hi, indices=indices)
         # Split the wider axis at the median -- adapts to density better
@@ -98,7 +107,9 @@ class KDTree:
         node.right = self._build(indices[mid:], right_lo, hi, depth + 1)
         return node
 
-    def knn(self, qx: float, qy: float, k: int, exclude: int = -1) -> Tuple[np.ndarray, np.ndarray]:
+    def knn(
+        self, qx: float, qy: float, k: int, exclude: int = -1
+    ) -> Tuple[IntArray, FloatArray]:
         """The k nearest stored points to (qx, qy) under the max norm.
 
         Args:
@@ -147,7 +158,7 @@ class KDTree:
         return idxs, dists
 
 
-def chebyshev_knn_kdtree(x: np.ndarray, y: np.ndarray, k: int) -> KnnResult:
+def chebyshev_knn_kdtree(x: AnyArray, y: AnyArray, k: int) -> KnnResult:
     """k-d tree based all-points k-NN; same contract as the other backends."""
     x = np.asarray(x, dtype=np.float64).ravel()
     y = np.asarray(y, dtype=np.float64).ravel()

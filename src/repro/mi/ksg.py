@@ -25,6 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.special import digamma
 
+from repro import contracts
+from repro._types import AnyArray, FloatArray
 from repro.mi.neighbors import (
     KnnResult,
     chebyshev_knn_bruteforce,
@@ -64,7 +66,7 @@ class KSGEstimator:
         if self.backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {self.backend!r}")
 
-    def _knn(self, x: np.ndarray, y: np.ndarray, k: int) -> KnnResult:
+    def _knn(self, x: FloatArray, y: FloatArray, k: int) -> KnnResult:
         backend = self.backend
         if backend == "auto":
             backend = "grid" if x.size >= _GRID_CUTOVER else "bruteforce"
@@ -80,7 +82,7 @@ class KSGEstimator:
         """The neighbor count actually used for a window of ``m`` samples."""
         return min(self.k, m - 1)
 
-    def mi(self, x: np.ndarray, y: np.ndarray) -> float:
+    def mi(self, x: AnyArray, y: AnyArray) -> float:
         """Estimate I(X; Y) in nats from paired samples.
 
         Args:
@@ -102,11 +104,13 @@ class KSGEstimator:
         m = x.size
         if m < 2:
             raise ValueError(f"need at least 2 samples, got {m}")
+        if contracts.checks_enabled():
+            contracts.check_series_shape(x, y, where="KSGEstimator.mi")
         k = self.effective_k(m)
         knn = self._knn(x, y, k)
         return self.mi_from_geometry(x, y, knn, k)
 
-    def mi_from_geometry(self, x: np.ndarray, y: np.ndarray, knn: KnnResult, k: int) -> float:
+    def mi_from_geometry(self, x: FloatArray, y: FloatArray, knn: KnnResult, k: int) -> float:
         """Finish an MI estimate given precomputed k-NN geometry.
 
         Split out so the incremental engine (Section 7) can reuse its
@@ -134,12 +138,14 @@ class KSGEstimator:
                 - float(np.mean(digamma(n_x + 1) + digamma(n_y + 1)))
                 + digamma(m)
             )
+        if contracts.checks_enabled():
+            contracts.check_mi_finite(float(value), where="KSGEstimator.mi_from_geometry")
         return float(value)
 
 
 def ksg_mi(
-    x: np.ndarray,
-    y: np.ndarray,
+    x: AnyArray,
+    y: AnyArray,
     k: int = 4,
     algorithm: int = 2,
     backend: str = "auto",

@@ -18,14 +18,15 @@ from typing import Tuple
 
 import numpy as np
 
+from repro._types import AnyArray, FloatArray
 from repro.mi.discrete import discrete_mi, empirical_joint
 
 __all__ = ["mix_samples", "mixture_joint", "theorem61_gap"]
 
 
 def mix_samples(
-    x: np.ndarray,
-    u: np.ndarray,
+    x: AnyArray,
+    u: AnyArray,
     theta: float,
     rng: np.random.Generator,
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -54,12 +55,12 @@ def mix_samples(
 
 
 def mixture_joint(
-    joint_xy: np.ndarray,
-    pu: np.ndarray,
-    pv: np.ndarray,
+    joint_xy: AnyArray,
+    pu: AnyArray,
+    pv: AnyArray,
     theta: float,
     eta: float,
-) -> np.ndarray:
+) -> FloatArray:
     """Exact joint table of ``(Z, W)`` per Eqs. (9)-(12) of the paper.
 
     Z ranges over the alphabet of X followed by the alphabet of U; W over
@@ -88,9 +89,9 @@ def mixture_joint(
 
 
 def theorem61_gap(
-    joint_xy: np.ndarray,
-    pu: np.ndarray,
-    pv: np.ndarray,
+    joint_xy: AnyArray,
+    pu: AnyArray,
+    pv: AnyArray,
     theta: float,
     eta: float,
 ) -> Tuple[float, float]:
@@ -105,10 +106,10 @@ def theorem61_gap(
 
 
 def empirical_theorem61_gap(
-    x: np.ndarray,
-    y: np.ndarray,
-    u: np.ndarray,
-    v: np.ndarray,
+    x: AnyArray,
+    y: AnyArray,
+    u: AnyArray,
+    v: AnyArray,
     theta: float,
     eta: float,
     rng: np.random.Generator,

@@ -21,9 +21,11 @@ Marginal counts are computed with sorted projections and binary search
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
+
+from repro._types import AnyArray, FloatArray, IntArray
 
 __all__ = [
     "KnnResult",
@@ -49,13 +51,13 @@ class KnnResult:
             (shape ``(m, k)``); ordering within a row is unspecified.
     """
 
-    kth_distance: np.ndarray
-    eps_x: np.ndarray
-    eps_y: np.ndarray
-    indices: np.ndarray
+    kth_distance: FloatArray
+    eps_x: FloatArray
+    eps_y: FloatArray
+    indices: IntArray
 
 
-def _validate_xy(x: np.ndarray, y: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+def _validate_xy(x: AnyArray, y: AnyArray, k: int) -> Tuple[FloatArray, FloatArray]:
     x = np.asarray(x, dtype=np.float64).ravel()
     y = np.asarray(y, dtype=np.float64).ravel()
     if x.shape != y.shape:
@@ -69,7 +71,7 @@ def _validate_xy(x: np.ndarray, y: np.ndarray, k: int) -> Tuple[np.ndarray, np.n
     return x, y
 
 
-def chebyshev_knn_bruteforce(x: np.ndarray, y: np.ndarray, k: int) -> KnnResult:
+def chebyshev_knn_bruteforce(x: AnyArray, y: AnyArray, k: int) -> KnnResult:
     """Find the k nearest neighbors of every point under the max norm.
 
     Args:
@@ -106,7 +108,7 @@ class GridIndex:
     gives a correct stopping rule.
     """
 
-    def __init__(self, x: np.ndarray, y: np.ndarray, target_per_cell: float = 2.0):
+    def __init__(self, x: AnyArray, y: AnyArray, target_per_cell: float = 2.0) -> None:
         x = np.asarray(x, dtype=np.float64).ravel()
         y = np.asarray(y, dtype=np.float64).ravel()
         if x.size != y.size:
@@ -127,7 +129,7 @@ class GridIndex:
             self._cell = span / n_cells_per_axis
         self._x0 = float(x.min())
         self._y0 = float(y.min())
-        self._buckets: dict[tuple[int, int], list[int]] = {}
+        self._buckets: Dict[Tuple[int, int], List[int]] = {}
         cx = ((x - self._x0) / self._cell).astype(np.int64)
         cy = ((y - self._y0) / self._cell).astype(np.int64)
         for i in range(m):
@@ -135,7 +137,7 @@ class GridIndex:
         self._cx = cx
         self._cy = cy
 
-    def _ring_cells(self, cx: int, cy: int, r: int):
+    def _ring_cells(self, cx: int, cy: int, r: int) -> Iterator[Tuple[int, int]]:
         if r == 0:
             yield (cx, cy)
             return
@@ -146,7 +148,7 @@ class GridIndex:
             yield (cx - r, gy)
             yield (cx + r, gy)
 
-    def knn(self, i: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def knn(self, i: int, k: int) -> Tuple[IntArray, FloatArray]:
         """Return ``(indices, distances)`` of the k nearest neighbors of point i.
 
         Distances are Chebyshev; the query point itself is excluded.
@@ -154,7 +156,7 @@ class GridIndex:
         x, y = self._x, self._y
         qx, qy = x[i], y[i]
         cx, cy = int(self._cx[i]), int(self._cy[i])
-        candidates: list[int] = []
+        candidates: List[int] = []
         r = 0
         # Expand rings until the k-th best distance is certainly final.
         best_idx = np.empty(0, dtype=np.int64)
@@ -192,7 +194,7 @@ class GridIndex:
         return best_idx, best_dist
 
 
-def chebyshev_knn_grid(x: np.ndarray, y: np.ndarray, k: int) -> KnnResult:
+def chebyshev_knn_grid(x: AnyArray, y: AnyArray, k: int) -> KnnResult:
     """Grid-index based k-NN search; same contract as the brute-force backend."""
     x, y = _validate_xy(x, y, k)
     m = x.size
@@ -210,7 +212,7 @@ def chebyshev_knn_grid(x: np.ndarray, y: np.ndarray, k: int) -> KnnResult:
     return KnnResult(kth_distance=kth_distance, eps_x=eps_x, eps_y=eps_y, indices=indices)
 
 
-def marginal_counts(values: np.ndarray, radii: np.ndarray, strict: bool) -> np.ndarray:
+def marginal_counts(values: AnyArray, radii: AnyArray, strict: bool) -> IntArray:
     """Count, for every point, the neighbors inside its marginal strip.
 
     For point ``i`` the strip is ``[values[i] - radii[i], values[i] + radii[i]]``

@@ -15,8 +15,10 @@ as a production implementation must do for a user-facing [0, 1] score.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Optional
 
+from repro import contracts
+from repro._types import AnyArray
 from repro.mi.entropy import binned_joint_entropy
 from repro.mi.ksg import KSGEstimator
 
@@ -47,11 +49,11 @@ def normalize_ratio(mi: float, entropy: float) -> float:
 
 
 def normalized_mi(
-    x: np.ndarray,
-    y: np.ndarray,
+    x: AnyArray,
+    y: AnyArray,
     k: int = 4,
-    estimator: KSGEstimator | None = None,
-    bins: int | None = None,
+    estimator: Optional[KSGEstimator] = None,
+    bins: Optional[int] = None,
 ) -> float:
     """Normalized MI of a paired sample, scaled to [0, 1].
 
@@ -69,4 +71,7 @@ def normalized_mi(
         estimator = KSGEstimator(k=k)
     mi = estimator.mi(x, y)
     entropy = binned_joint_entropy(x, y, bins=bins)
-    return normalize_value(mi, entropy)
+    value = normalize_value(mi, entropy)
+    if contracts.checks_enabled():
+        contracts.check_nmi_range(value, where="normalized_mi")
+    return value

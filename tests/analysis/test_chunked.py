@@ -1,6 +1,5 @@
 """Tests for the chunked big-series search."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.chunked import chunk_pair, search_chunked

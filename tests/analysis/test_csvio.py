@@ -1,6 +1,5 @@
 """Tests for CSV ingestion and the tycos-search CLI."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.csvio import main, read_csv_series

@@ -1,7 +1,6 @@
 """Tests for the AMIC top-down baseline."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.amic import amic_search
 from repro.core.config import TycosConfig

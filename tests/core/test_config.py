@@ -34,6 +34,33 @@ class TestValidation:
         with pytest.raises(ValueError, match=match):
             TycosConfig(**kwargs)
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(s_min=6, k=4),  # exactly k + 2 is the smallest legal window
+            dict(s_max=8, s_min=8),  # degenerate single-size search space
+            dict(td_max=0),  # aligned-only search is valid
+            dict(epsilon_ratio=0.0),  # noise pruning disabled
+            dict(sigma=1.0),
+            dict(jitter=0.0),
+            dict(significance_permutations=0),
+            dict(init_delay_step=1),
+        ],
+    )
+    def test_accepts_boundary_values(self, kwargs):
+        TycosConfig(**kwargs)  # must not raise
+
+    def test_s_min_bound_tracks_k(self):
+        # The s_min >= k + 2 bound is relative to k, not a constant.
+        TycosConfig(s_min=10, k=8)
+        with pytest.raises(ValueError, match="s_min"):
+            TycosConfig(s_min=9, k=8)
+
+    def test_scaled_revalidates(self):
+        cfg = TycosConfig()
+        with pytest.raises(ValueError, match="s_max"):
+            cfg.scaled(s_max=cfg.s_min - 1)
+
 
 class TestDerived:
     def test_epsilon(self):

@@ -25,7 +25,9 @@ class TestRingStructure:
 
     def test_all_neighbors_feasible(self):
         n, s_min, s_max, td = 200, 10, 50, 5
-        nbs = neighborhood(_mid_window(), radius=3, delta=2, n=n, s_min=s_min, s_max=s_max, td_max=td)
+        nbs = neighborhood(
+            _mid_window(), radius=3, delta=2, n=n, s_min=s_min, s_max=s_max, td_max=td
+        )
         for nb in nbs:
             assert nb.window.is_feasible(n, s_min, s_max, td)
 
@@ -59,7 +61,9 @@ class TestBlocking:
     def test_blocked_axis_direction_removes_all_matching(self):
         w = _mid_window()
         blocked = frozenset({(0, 1, 0)})  # no end-growing moves
-        nbs = neighborhood(w, radius=1, delta=1, n=1000, s_min=5, s_max=100, td_max=50, blocked=blocked)
+        nbs = neighborhood(
+            w, radius=1, delta=1, n=1000, s_min=5, s_max=100, td_max=50, blocked=blocked
+        )
         assert all(nb.window.end <= w.end for nb in nbs)
         # 9 of the 26 moves grow the end.
         assert len(nbs) == 26 - 9
@@ -67,7 +71,9 @@ class TestBlocking:
     def test_blocking_two_directions(self):
         w = _mid_window()
         blocked = frozenset({(0, 1, 0), (-1, 0, 0)})
-        nbs = neighborhood(w, radius=1, delta=1, n=1000, s_min=5, s_max=100, td_max=50, blocked=blocked)
+        nbs = neighborhood(
+            w, radius=1, delta=1, n=1000, s_min=5, s_max=100, td_max=50, blocked=blocked
+        )
         for nb in nbs:
             assert nb.window.end <= w.end
             assert nb.window.start >= w.start
@@ -75,7 +81,9 @@ class TestBlocking:
     def test_empty_blocked_set_changes_nothing(self):
         w = _mid_window()
         a = neighborhood(w, radius=1, delta=1, n=1000, s_min=5, s_max=100, td_max=50)
-        b = neighborhood(w, radius=1, delta=1, n=1000, s_min=5, s_max=100, td_max=50, blocked=frozenset())
+        b = neighborhood(
+            w, radius=1, delta=1, n=1000, s_min=5, s_max=100, td_max=50, blocked=frozenset()
+        )
         assert len(a) == len(b)
 
 

@@ -2,7 +2,6 @@
 subsequent direction blocking."""
 
 import numpy as np
-import pytest
 
 from repro.core.config import TycosConfig
 from repro.core.neighborhood import Neighbor

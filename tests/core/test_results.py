@@ -1,6 +1,5 @@
 """Tests for result sets and window aggregation."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

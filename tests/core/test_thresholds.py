@@ -1,6 +1,5 @@
 """Tests for window scorers and the top-K filter."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import TycosConfig

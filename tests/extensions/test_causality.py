@@ -1,7 +1,6 @@
 """Tests for the lead-lag direction analysis."""
 
 import numpy as np
-import pytest
 
 from repro.core.config import TycosConfig
 from repro.core.results import WindowResult

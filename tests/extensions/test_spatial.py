@@ -1,6 +1,5 @@
 """Tests for the spatial correlation extension."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import TycosConfig

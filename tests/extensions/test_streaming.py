@@ -1,6 +1,5 @@
 """Tests for the streaming correlation monitor."""
 
-import numpy as np
 import pytest
 
 from repro.extensions.streaming import StreamingMonitor

@@ -1,7 +1,6 @@
 """Cross-module integration tests: the full pipeline on realistic data."""
 
 import numpy as np
-import pytest
 
 from repro import (
     Tycos,

@@ -1,0 +1,167 @@
+"""Tests for the runtime contract layer (``repro.contracts``)."""
+
+import numpy as np
+import pytest
+
+from repro import contracts
+from repro.contracts import (
+    ContractViolation,
+    check_mi_finite,
+    check_nmi_range,
+    check_series_shape,
+    check_window_feasible,
+    checks_enabled,
+    override_checks,
+)
+from repro.core.config import TycosConfig
+from repro.core.thresholds import BatchScorer, IncrementalScorer
+from repro.core.tycos import Tycos
+from repro.core.window import PairView, TimeDelayWindow
+
+
+class TestToggle:
+    def test_disabled_by_default(self, monkeypatch):
+        # The test runner may itself export REPRO_CHECKS; neutralize the
+        # cached env value and check the override-free default.
+        monkeypatch.setattr(contracts, "_ENV_ENABLED", False)
+        assert not checks_enabled()
+
+    def test_override_wins_over_env(self, monkeypatch):
+        monkeypatch.setattr(contracts, "_ENV_ENABLED", False)
+        with override_checks(True):
+            assert checks_enabled()
+        assert not checks_enabled()
+
+    def test_override_restores_on_exit(self):
+        before = checks_enabled()
+        with override_checks(not before):
+            assert checks_enabled() is (not before)
+        assert checks_enabled() is before
+
+    def test_override_nests(self):
+        with override_checks(True):
+            with override_checks(False):
+                assert not checks_enabled()
+            assert checks_enabled()
+
+    def test_env_spellings(self):
+        truthy = ["1", "true", "yes", " 1 "]
+        falsy = ["", "0", "false", "off", "  "]
+        for raw in truthy:
+            assert raw.strip() not in ("", "0", "false", "off")
+        for raw in falsy:
+            assert raw.strip() in ("", "0", "false", "off")
+
+
+class TestValidators:
+    def test_mi_finite_passes_through(self):
+        assert check_mi_finite(0.5) == 0.5
+        assert check_mi_finite(-0.01) == -0.01  # KSG can dip below zero
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_mi_finite_rejects(self, bad):
+        with pytest.raises(ContractViolation, match="finite"):
+            check_mi_finite(bad, where="unit-test")
+
+    def test_nmi_range_passes_through(self):
+        assert check_nmi_range(0.0) == 0.0
+        assert check_nmi_range(1.0) == 1.0
+        assert check_nmi_range(0.37) == 0.37
+
+    @pytest.mark.parametrize("bad", [-0.001, 1.001, 1.5, float("nan"), float("inf")])
+    def test_nmi_range_rejects(self, bad):
+        with pytest.raises(ContractViolation, match=r"\[0, 1\]"):
+            check_nmi_range(bad, where="unit-test")
+
+    def test_window_feasible_accepts(self):
+        w = TimeDelayWindow(start=10, end=29, delay=5)
+        assert check_window_feasible(w, n=100, s_min=8, s_max=50, td_max=10) is w
+
+    def test_window_feasible_rejects_oversized(self):
+        w = TimeDelayWindow(start=0, end=99, delay=0)
+        with pytest.raises(ContractViolation, match="infeasible"):
+            check_window_feasible(w, n=200, s_min=8, s_max=50, td_max=10)
+
+    def test_window_feasible_rejects_out_of_range_delay(self):
+        w = TimeDelayWindow(start=10, end=29, delay=50)
+        with pytest.raises(ContractViolation, match="infeasible"):
+            check_window_feasible(w, n=100, s_min=8, s_max=50, td_max=10)
+
+    def test_series_shape_accepts(self):
+        x = np.zeros(16)
+        check_series_shape(x, x + 1.0)  # no raise
+
+    def test_series_shape_rejects_2d(self):
+        with pytest.raises(ContractViolation, match="1-D"):
+            check_series_shape(np.zeros((4, 4)), np.zeros(16))
+
+    def test_series_shape_rejects_length_mismatch(self):
+        with pytest.raises(ContractViolation, match="equal length"):
+            check_series_shape(np.zeros(10), np.zeros(11))
+
+    def test_series_shape_rejects_empty(self):
+        with pytest.raises(ContractViolation, match="non-empty"):
+            check_series_shape(np.zeros(0), np.zeros(0))
+
+    def test_series_shape_rejects_nan(self):
+        x = np.zeros(8)
+        y = np.zeros(8)
+        y[3] = np.nan
+        with pytest.raises(ContractViolation, match="finite"):
+            check_series_shape(x, y)
+
+    def test_violation_is_assertion_error(self):
+        # Callers treating contracts as assertions can catch AssertionError.
+        assert issubclass(ContractViolation, AssertionError)
+
+
+def _pair(n=300, seed=7):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, n)
+    return x, np.sin(5 * x) + 0.05 * rng.normal(size=n)
+
+
+class TestScorerIntegration:
+    """REPRO_CHECKS must catch a corrupted score inside the scorers."""
+
+    @pytest.mark.parametrize("scorer_cls", [BatchScorer, IncrementalScorer])
+    def test_out_of_range_nmi_is_caught(self, scorer_cls, monkeypatch):
+        # Corrupt the normalization step so the scorer produces nmi > 1.
+        import repro.core.thresholds as thresholds
+
+        monkeypatch.setattr(thresholds, "normalize_value", lambda mi, h: 1.5)
+        x, y = _pair()
+        scorer = scorer_cls(PairView(x, y), TycosConfig())
+        window = TimeDelayWindow(start=0, end=49, delay=0)
+        with override_checks(True):
+            with pytest.raises(ContractViolation, match=r"\[0, 1\]"):
+                scorer.score(window)
+
+    @pytest.mark.parametrize("scorer_cls", [BatchScorer, IncrementalScorer])
+    def test_corruption_passes_silently_when_disabled(self, scorer_cls, monkeypatch):
+        # Without the flag the corrupted score flows through unchecked --
+        # the zero-overhead guarantee cuts both ways.
+        import repro.core.thresholds as thresholds
+
+        monkeypatch.setattr(thresholds, "normalize_value", lambda mi, h: 1.5)
+        x, y = _pair()
+        scorer = scorer_cls(PairView(x, y), TycosConfig())
+        window = TimeDelayWindow(start=0, end=49, delay=0)
+        with override_checks(False):
+            score = scorer.score(window)
+        assert score.nmi == 1.5
+
+    def test_full_search_passes_with_checks_on(self):
+        x, y = _pair()
+        config = TycosConfig(sigma=0.4, s_min=20, s_max=120, td_max=4, seed=0)
+        with override_checks(True):
+            result = Tycos(config).search(x, y)
+        assert result.stats.windows_evaluated > 0
+
+    def test_search_rejects_nan_input_with_checks_on(self):
+        x, y = _pair()
+        y[10] = np.nan
+        config = TycosConfig(sigma=0.4, s_min=20, s_max=120, td_max=4, seed=0)
+        with override_checks(True):
+            with pytest.raises((ContractViolation, ValueError)):
+                Tycos(config).search(x, y)

@@ -1,7 +1,6 @@
 """Tests for the package's public surface."""
 
 import numpy as np
-import pytest
 
 import repro
 

@@ -1,0 +1,32 @@
+"""tycoslint: the TYCOS reproduction's repository-specific AST linter.
+
+A small rule engine (:mod:`tools.tycoslint.engine`) plus six rules
+(:mod:`tools.tycoslint.rules`) that machine-enforce invariants generic
+linters cannot know about: float-equality bans in the numerical
+packages, seeded-randomness discipline, honest ``__all__`` exports, and
+monotonic-clock timing.  Run it with::
+
+    python -m tools.tycoslint src tests
+"""
+
+from tools.tycoslint.engine import (
+    LintReport,
+    Rule,
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+    registered_rules,
+    resolve_rules,
+)
+
+__all__ = [
+    "Rule",
+    "Violation",
+    "LintReport",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "registered_rules",
+    "resolve_rules",
+]

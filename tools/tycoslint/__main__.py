@@ -1,0 +1,8 @@
+"""Entry point: ``python -m tools.tycoslint``."""
+
+import sys
+
+from tools.tycoslint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""tycoslint command line interface.
+
+Usage::
+
+    python -m tools.tycoslint src tests
+    python -m tools.tycoslint --select TY001,TY004 src
+    python -m tools.tycoslint --ignore TY006 src tests
+    python -m tools.tycoslint --list-rules
+
+Exit codes follow the pytest convention: 0 = clean, 1 = violations
+found, 2 = usage or parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+# Importing the rules module populates the registry as a side effect.
+import tools.tycoslint.rules  # noqa: F401
+from tools.tycoslint.engine import lint_paths, registered_rules, resolve_rules
+
+__all__ = ["main", "build_parser"]
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The tycoslint argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="tycoslint",
+        description="Repository-specific AST linter for the TYCOS reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select", metavar="CODES", help="comma-separated rule codes to run (default: all)"
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES", help="comma-separated rule codes to skip"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the registered rules and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for code, rule_cls in sorted(registered_rules().items()):
+            print(f"{code}  {rule_cls.name:>18}  {rule_cls.description}")
+        return EXIT_CLEAN
+
+    if not options.paths:
+        parser.print_usage(sys.stderr)
+        print("tycoslint: error: no paths given", file=sys.stderr)
+        return EXIT_USAGE
+
+    try:
+        rules = resolve_rules(
+            select=_split_codes(options.select), ignore=_split_codes(options.ignore)
+        )
+    except KeyError as exc:
+        print(f"tycoslint: error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+
+    targets = [Path(p) for p in options.paths]
+    missing = [p for p in targets if not p.exists()]
+    if missing:
+        print(
+            f"tycoslint: error: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    report = lint_paths(targets, rules)
+    for violation in report.violations:
+        print(violation.render())
+    for error in report.parse_errors:
+        print(f"tycoslint: parse error: {error}", file=sys.stderr)
+
+    if report.parse_errors:
+        return EXIT_USAGE
+    if report.violations:
+        print(f"tycoslint: {len(report.violations)} violation(s) found", file=sys.stderr)
+        return EXIT_VIOLATIONS
+    return EXIT_CLEAN

@@ -1,0 +1,188 @@
+"""tycoslint rule engine: AST visitors, rule registry, file walking.
+
+The engine is deliberately small: a :class:`Rule` owns a stable code
+(``TY0xx``), decides which files it applies to, and yields
+:class:`Violation` records from a parsed module.  Rules register
+themselves via the :func:`register` decorator; the CLI selects among the
+registered rules with ``--select`` / ``--ignore``.
+
+Everything is standard library only, so the linter runs in any
+environment that can run the test suite.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "register",
+    "registered_rules",
+    "resolve_rules",
+    "LintReport",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "is_test_path",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a concrete source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def render(self) -> str:
+        """Human-readable one-liner, editor-clickable."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class Rule:
+    """Base class for tycoslint rules.
+
+    Subclasses set :attr:`code` / :attr:`name` / :attr:`description` and
+    implement :meth:`check`.  :meth:`applies_to` lets a rule scope itself
+    to a subtree of the repository (e.g. only ``repro/mi`` and
+    ``repro/core``), keeping rule logic and rule scope in one place.
+    """
+
+    code: str = "TY000"
+    name: str = "abstract-rule"
+    description: str = ""
+
+    def applies_to(self, path: Path) -> bool:
+        """Whether this rule runs on ``path`` (default: every file)."""
+        return True
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Violation]:
+        """Yield violations found in the parsed module."""
+        raise NotImplementedError
+
+    def violation(self, node: ast.AST, message: str, path: Path) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            code=self.code,
+            message=message,
+            path=str(path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    code = rule_cls.code
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code}")
+    _REGISTRY[code] = rule_cls
+    return rule_cls
+
+
+def registered_rules() -> Dict[str, Type[Rule]]:
+    """A copy of the code -> rule-class registry."""
+    return dict(_REGISTRY)
+
+
+def resolve_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Instantiate the selected rules.
+
+    Args:
+        select: rule codes to run (default: all registered).
+        ignore: rule codes to drop from the selection.
+
+    Raises:
+        KeyError: if a selected/ignored code is not registered.
+    """
+    known = registered_rules()
+    for code in list(select or []) + list(ignore or []):
+        if code not in known:
+            raise KeyError(f"unknown rule code {code!r}; known: {', '.join(sorted(known))}")
+    chosen = list(select) if select else sorted(known)
+    dropped = set(ignore or [])
+    return [known[code]() for code in chosen if code not in dropped]
+
+
+def is_test_path(path: Path) -> bool:
+    """True for files under a ``tests/`` tree or named like pytest files."""
+    parts = path.as_posix().split("/")
+    if "tests" in parts:
+        return True
+    name = path.name
+    return name.startswith("test_") or name == "conftest.py"
+
+
+@dataclass
+class LintReport:
+    """Outcome of a lint run: violations plus files that failed to parse."""
+
+    violations: List[Violation]
+    parse_errors: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+
+def lint_source(source: str, path: Path, rules: Sequence[Rule]) -> List[Violation]:
+    """Lint one module given as source text (the unit-test entry point).
+
+    Raises:
+        SyntaxError: if the source does not parse.
+    """
+    tree = ast.parse(source, filename=str(path))
+    found: List[Violation] = []
+    for rule in rules:
+        if rule.applies_to(path):
+            found.extend(rule.check(tree, path))
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return found
+
+
+def lint_file(path: Path, rules: Sequence[Rule]) -> List[Violation]:
+    """Lint one file from disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path, rules)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen = set()
+    collected: List[Path] = []
+    for entry in paths:
+        if entry.is_dir():
+            collected.extend(sorted(entry.rglob("*.py")))
+        elif entry.suffix == ".py":
+            collected.append(entry)
+    for path in collected:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            yield path
+
+
+def lint_paths(paths: Iterable[Path], rules: Sequence[Rule]) -> LintReport:
+    """Lint every python file under ``paths`` with ``rules``."""
+    violations: List[Violation] = []
+    parse_errors: List[str] = []
+    for path in iter_python_files(paths):
+        try:
+            violations.extend(lint_file(path, rules))
+        except SyntaxError as exc:
+            parse_errors.append(f"{path}: {exc.msg} (line {exc.lineno})")
+    return LintReport(violations=violations, parse_errors=parse_errors)

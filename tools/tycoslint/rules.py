@@ -1,0 +1,383 @@
+"""Repository-specific tycoslint rules (TY001 - TY006).
+
+Each rule machine-enforces an invariant the TYCOS reproduction relies on
+but that generic linters do not check:
+
+* TY001 -- float equality comparisons inside the numerical packages
+  (``repro.mi``, ``repro.core``) silently break under round-off.
+* TY002 -- unseeded randomness outside tests destroys the determinism
+  guarantee (same ``TycosConfig.seed`` => bit-identical results).
+* TY003 -- mutable default arguments alias state across calls.
+* TY004 -- every public ``repro`` module must declare ``__all__`` and
+  every listed name must actually exist, keeping the API surface honest.
+* TY005 -- bare ``except:`` and ``except Exception: pass`` swallow the
+  very contract violations this repo installs.
+* TY006 -- ``time.time()`` is wall-clock and jumps with NTP; interval
+  timing must use ``time.perf_counter()`` (the sanctioned wall-clock
+  site is the ``SearchStats`` timing in ``repro/core/tycos.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Set, Tuple
+
+from tools.tycoslint.engine import Rule, Violation, is_test_path, register
+
+__all__ = [
+    "FloatEqualityRule",
+    "UnseededRandomRule",
+    "MutableDefaultRule",
+    "DunderAllRule",
+    "SilentExceptRule",
+    "WallClockRule",
+]
+
+
+def _in_packages(path: Path, packages: Tuple[str, ...]) -> bool:
+    posix = path.as_posix()
+    return any(f"/{pkg}/" in posix or posix.startswith(f"{pkg}/") for pkg in packages)
+
+
+def _is_np_random_attr(node: ast.AST) -> Optional[str]:
+    """Return the attribute name when ``node`` is ``np.random.<attr>``."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    value = node.value
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in ("np", "numpy")
+    ):
+        return node.attr
+    return None
+
+
+@register
+class FloatEqualityRule(Rule):
+    """TY001: no ``==`` / ``!=`` against float literals in repro.mi / repro.core.
+
+    Round-off makes exact float comparison order-of-evaluation dependent;
+    the numerical packages must compare with a tolerance
+    (``math.isclose`` / ``np.isclose``) or restructure the test.
+    """
+
+    code = "TY001"
+    name = "float-equality"
+    description = "float ==/!= comparison in the numerical packages"
+
+    _packages = ("repro/mi", "repro/core")
+
+    def applies_to(self, path: Path) -> bool:
+        return _in_packages(path, self._packages)
+
+    @staticmethod
+    def _is_float_literal(node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and type(node.value) is float:
+            return True
+        # A negated float literal parses as UnaryOp(USub, Constant).
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            return FloatEqualityRule._is_float_literal(node.operand)
+        return False
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_float_literal(left) or self._is_float_literal(right):
+                    yield self.violation(
+                        node,
+                        "float equality comparison; use math.isclose/np.isclose "
+                        "or an explicit tolerance",
+                        path,
+                    )
+                    break
+
+
+@register
+class UnseededRandomRule(Rule):
+    """TY002: no unseeded randomness outside tests.
+
+    Flags ``np.random.default_rng()`` called without a seed and any call
+    into the legacy global RNG (``np.random.normal`` etc.), both of which
+    break the same-seed => same-result determinism contract.
+    """
+
+    code = "TY002"
+    name = "unseeded-random"
+    description = "unseeded np.random.default_rng() / legacy global RNG call"
+
+    # Constructors that are fine *when given a seed*.
+    _seedable = ("default_rng", "RandomState", "Generator", "SeedSequence")
+
+    def applies_to(self, path: Path) -> bool:
+        return not is_test_path(path)
+
+    @staticmethod
+    def _has_seed(call: ast.Call) -> bool:
+        if call.args:
+            return not (
+                isinstance(call.args[0], ast.Constant) and call.args[0].value is None
+            )
+        return any(kw.arg == "seed" for kw in call.keywords)
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            attr = _is_np_random_attr(node.func)
+            if attr is None:
+                # `from numpy.random import default_rng` style.
+                if isinstance(node.func, ast.Name) and node.func.id == "default_rng":
+                    if not self._has_seed(node):
+                        yield self.violation(
+                            node, "default_rng() called without a seed", path
+                        )
+                continue
+            if attr in self._seedable:
+                if not self._has_seed(node):
+                    yield self.violation(
+                        node, f"np.random.{attr}() called without a seed", path
+                    )
+            else:
+                yield self.violation(
+                    node,
+                    f"np.random.{attr}() uses the unseeded global RNG; "
+                    "thread a seeded np.random.Generator instead",
+                    path,
+                )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """TY003: no mutable default arguments.
+
+    A ``def f(x=[])`` default is evaluated once and shared across calls;
+    use ``None`` plus an in-body fallback (or a dataclass field factory).
+    """
+
+    code = "TY003"
+    name = "mutable-default"
+    description = "mutable default argument"
+
+    _mutable_calls = {
+        "list", "dict", "set", "bytearray",
+        "defaultdict", "OrderedDict", "Counter", "deque",
+    }
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._mutable_calls
+        return False
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        default,
+                        f"mutable default argument in {name}(); "
+                        "use None and initialize inside the body",
+                        path,
+                    )
+
+
+@register
+class DunderAllRule(Rule):
+    """TY004: public repro modules declare ``__all__`` and it is honest.
+
+    Every non-underscore module under the ``repro`` package must assign a
+    literal ``__all__`` of strings, and each listed name must be defined
+    or imported at module top level.
+    """
+
+    code = "TY004"
+    name = "dunder-all"
+    description = "missing or inconsistent __all__ in a public repro module"
+
+    def applies_to(self, path: Path) -> bool:
+        if not _in_packages(path, ("repro",)):
+            return False
+        stem = path.stem
+        return stem == "__init__" or not stem.startswith("_")
+
+    @staticmethod
+    def _top_level_names(tree: ast.Module) -> Tuple[Set[str], bool]:
+        """Names bound at module top level, plus a star-import flag."""
+        names: Set[str] = set()
+        has_star = False
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, ast.Name):
+                            names.add(leaf.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        has_star = True
+                    else:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.If, ast.Try)):
+                # Common for TYPE_CHECKING / optional-dependency guards.
+                sub = ast.Module(body=list(ast.iter_child_nodes(node)), type_ignores=[])
+                sub_names, sub_star = DunderAllRule._top_level_names(sub)
+                names |= sub_names
+                has_star |= sub_star
+        return names, has_star
+
+    @staticmethod
+    def _find_all(tree: ast.Module) -> Optional[ast.Assign]:
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        return node
+        return None
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Violation]:
+        assign = self._find_all(tree)
+        if assign is None:
+            yield Violation(
+                code=self.code,
+                message="public module does not declare __all__",
+                path=str(path),
+                line=1,
+                col=0,
+            )
+            return
+        value = assign.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            yield self.violation(assign, "__all__ must be a literal list/tuple", path)
+            return
+        entries: List[Tuple[str, ast.AST]] = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                entries.append((element.value, element))
+            else:
+                yield self.violation(element, "__all__ entries must be string literals", path)
+        defined, has_star = self._top_level_names(tree)
+        if has_star:
+            return  # cannot verify through a star import
+        for name, element in entries:
+            if name not in defined and name != "__version__":
+                yield self.violation(
+                    element, f"__all__ lists {name!r} which is not defined in the module", path
+                )
+
+
+@register
+class SilentExceptRule(Rule):
+    """TY005: no bare ``except:`` and no ``except Exception: pass``.
+
+    Bare excepts catch ``KeyboardInterrupt``/``SystemExit``; silently
+    passing on ``Exception`` swallows contract violations.  Catch the
+    narrowest exception that the handler can actually handle.
+    """
+
+    code = "TY005"
+    name = "silent-except"
+    description = "bare except or silently swallowed Exception"
+
+    @staticmethod
+    def _catches_broad(node: ast.ExceptHandler) -> bool:
+        def is_broad(expr: ast.AST) -> bool:
+            return isinstance(expr, ast.Name) and expr.id in ("Exception", "BaseException")
+
+        if node.type is None:
+            return False  # bare except reported separately
+        if is_broad(node.type):
+            return True
+        if isinstance(node.type, ast.Tuple):
+            return any(is_broad(e) for e in node.type.elts)
+        return False
+
+    @staticmethod
+    def _is_silent(body: List[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and (stmt.value.value is Ellipsis or isinstance(stmt.value.value, str))
+            ):
+                continue  # docstring / ellipsis placeholders are still silent
+            return False
+        return True
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    node, "bare except: catches SystemExit/KeyboardInterrupt; "
+                    "name the exception type", path,
+                )
+            elif self._catches_broad(node) and self._is_silent(node.body):
+                yield self.violation(
+                    node, "except Exception with a pass-only body silently "
+                    "swallows errors; handle or re-raise", path,
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """TY006: ``time.time()`` only for ``SearchStats`` timing.
+
+    Interval measurement must use the monotonic ``time.perf_counter()``;
+    the only sanctioned wall-clock site is the ``SearchStats`` timing in
+    ``repro/core/tycos.py``.
+    """
+
+    code = "TY006"
+    name = "wall-clock"
+    description = "time.time() used outside SearchStats timing"
+
+    _sanctioned = "repro/core/tycos.py"
+
+    def applies_to(self, path: Path) -> bool:
+        if is_test_path(path):
+            return False
+        return not path.as_posix().endswith(self._sanctioned)
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                yield self.violation(
+                    node,
+                    "time.time() is wall-clock; use time.perf_counter() for "
+                    "intervals (SearchStats timing in repro/core/tycos.py is "
+                    "the only sanctioned wall-clock site)",
+                    path,
+                )
