@@ -31,7 +31,9 @@ config = TycosConfig(
 )
 
 # A conservative pre-filter: sparse event data needs a low bar, because
-# the probe windows may land between events.
+# the probe windows may land between events.  On a multi-core machine,
+# add n_jobs=-1 to fan the pairs over worker processes -- the report is
+# byte-identical for every worker count.
 report = scan_pairs(series, config, prefilter_threshold=0.05)
 print(report.to_text())
 print()

@@ -2,6 +2,8 @@
 
 * :mod:`repro.analysis.pairwise` -- scan every pair of a sensor collection
   (the outer loop of the paper's 72-plug energy study).
+* :mod:`repro.analysis.parallel` -- fan the pairwise scan over a process
+  pool with shared-memory series transfer.
 * :mod:`repro.analysis.chunked` -- chunked search over series too long for
   one in-memory pass.
 * :mod:`repro.analysis.csvio` -- CSV ingestion and the ``tycos-search``
@@ -13,11 +15,13 @@ from repro.analysis.consolidate import consolidate_windows
 from repro.analysis.csvio import read_csv_series
 from repro.analysis.inspect import WindowInspection, ascii_scatter, inspect_window
 from repro.analysis.pairwise import (
+    PairFailure,
     PairFinding,
     PairwiseReport,
     prefilter_score,
     scan_pairs,
 )
+from repro.analysis.parallel import scan_pairs_parallel
 from repro.analysis.serialization import (
     load_result,
     result_from_dict,
@@ -28,8 +32,10 @@ from repro.analysis.tuning import SigmaSweep, sigma_sweep, suggest_sigma
 
 __all__ = [
     "scan_pairs",
+    "scan_pairs_parallel",
     "PairwiseReport",
     "PairFinding",
+    "PairFailure",
     "prefilter_score",
     "search_chunked",
     "chunk_pair",

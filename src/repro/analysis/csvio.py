@@ -117,6 +117,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--prefilter", type=float, default=0.0,
         help="skip pairs whose quick relatedness probe scores below this",
     )
+    parser.add_argument(
+        "--n-jobs", type=int, default=1,
+        help="worker processes for --all-pairs (-1: all cores; default: serial)",
+    )
     args = parser.parse_args(argv)
 
     if not args.all_pairs and not (args.x and args.y):
@@ -125,7 +129,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     config = _build_config(args)
     if args.all_pairs:
         series = read_csv_series(args.csv)
-        report = scan_pairs(series, config, prefilter_threshold=args.prefilter)
+        report = scan_pairs(
+            series, config, prefilter_threshold=args.prefilter, n_jobs=args.n_jobs
+        )
         print(report.to_text())
         return 0
 

@@ -27,7 +27,13 @@ from repro.core.tycos import Tycos, TycosResult
 from repro.experiments.reporting import format_table, title
 from repro.mi.normalized import normalized_mi
 
-__all__ = ["PairFinding", "PairwiseReport", "scan_pairs", "prefilter_score"]
+__all__ = [
+    "PairFinding",
+    "PairFailure",
+    "PairwiseReport",
+    "scan_pairs",
+    "prefilter_score",
+]
 
 
 @dataclass(frozen=True)
@@ -49,12 +55,32 @@ class PairFinding:
     delay_range: Optional[Tuple[int, int]]
 
 
+@dataclass(frozen=True)
+class PairFailure:
+    """A pair whose search raised instead of completing.
+
+    One poisoned pair (a NaN column, a degenerate sensor) must not kill a
+    quadratic scan hours in, so per-pair errors are contained and reported
+    here rather than propagated.
+
+    Attributes:
+        source: name of the first series (X side).
+        target: name of the second series (Y side).
+        error: ``ExceptionType: message`` of what went wrong.
+    """
+
+    source: str
+    target: str
+    error: str
+
+
 @dataclass
 class PairwiseReport:
     """Ranked findings of a pairwise scan."""
 
     findings: List[PairFinding] = field(default_factory=list)
     skipped: List[Tuple[str, str]] = field(default_factory=list)
+    failures: List[PairFailure] = field(default_factory=list)
 
     def correlated(self) -> List[PairFinding]:
         """Pairs with at least one extracted window, strongest first."""
@@ -77,7 +103,8 @@ class PairwiseReport:
             rows.append([f"{f.source} -> {f.target}", f.windows, f"{f.best_nmi:.2f}", delays])
         body = format_table(headers, rows)
         skipped = f"\n({len(self.skipped)} pairs skipped by the pre-filter)" if self.skipped else ""
-        return title("Pairwise correlation scan") + "\n" + body + skipped
+        failed = f"\n({len(self.failures)} pairs failed; see report.failures)" if self.failures else ""
+        return title("Pairwise correlation scan") + "\n" + body + skipped + failed
 
 
 def prefilter_score(
@@ -117,12 +144,50 @@ def prefilter_score(
     return best
 
 
+def _evaluate_pair(
+    source: str,
+    target: str,
+    x: FloatArray,
+    y: FloatArray,
+    config: TycosConfig,
+    engine: Tycos,
+    prefilter_threshold: float,
+) -> Tuple[str, Optional[PairFinding]]:
+    """Score one pair: pre-filter, then search.
+
+    Shared by the serial loop and the parallel workers so both paths apply
+    the identical decision procedure.
+
+    Returns:
+        ``("skipped", None)`` when the pre-filter rejects the pair, else
+        ``("finding", PairFinding)``.
+    """
+    if (
+        prefilter_threshold > 0.0
+        and prefilter_score(x, y, td_max=config.td_max) < prefilter_threshold
+    ):
+        return ("skipped", None)
+    result: TycosResult = engine.search(x, y)
+    best = max((r.nmi for r in result.windows), default=0.0)
+    return (
+        "finding",
+        PairFinding(
+            source=source,
+            target=target,
+            windows=len(result.windows),
+            best_nmi=best,
+            delay_range=result.delay_range(),
+        ),
+    )
+
+
 def scan_pairs(
     series: Dict[str, FloatArray],
     config: TycosConfig,
     pairs: Optional[Iterable[Tuple[str, str]]] = None,
     prefilter_threshold: float = 0.0,
     engine: Optional[Tycos] = None,
+    n_jobs: Optional[int] = None,
 ) -> PairwiseReport:
     """Run TYCOS over every pair of a series collection.
 
@@ -134,9 +199,16 @@ def scan_pairs(
         prefilter_threshold: skip pairs whose :func:`prefilter_score` falls
             below this (0 disables the pre-filter).
         engine: optional preconfigured engine (default: TYCOS_LMN).
+        n_jobs: worker processes.  ``None`` or ``1`` scans serially in this
+            process; ``-1`` uses every available core; ``N > 1`` fans the
+            pairs over a process pool (see :mod:`repro.analysis.parallel`).
+            Results are merged in submission order, so the report is
+            identical for every worker count.
 
     Returns:
-        A :class:`PairwiseReport` with one finding per scanned pair.
+        A :class:`PairwiseReport` with one finding per scanned pair.  A
+        pair whose search raises is reported in ``report.failures`` instead
+        of aborting the scan.
     """
     names = list(series)
     lengths = {series[name].size for name in names}
@@ -144,29 +216,42 @@ def scan_pairs(
         raise ValueError(f"all series must share a length, got {sorted(lengths)}")
     if engine is None:
         engine = Tycos(config)
-    if pairs is None:
-        pairs = combinations(names, 2)
-    report = PairwiseReport()
-    for source, target in pairs:
+    pair_list = list(combinations(names, 2)) if pairs is None else list(pairs)
+    for source, target in pair_list:
         if source not in series or target not in series:
             raise KeyError(f"unknown series in pair ({source!r}, {target!r})")
-        x = series[source]
-        y = series[target]
-        if (
-            prefilter_threshold > 0.0
-            and prefilter_score(x, y, td_max=config.td_max) < prefilter_threshold
-        ):
-            report.skipped.append((source, target))
-            continue
-        result: TycosResult = engine.search(x, y)
-        best = max((r.nmi for r in result.windows), default=0.0)
-        report.findings.append(
-            PairFinding(
-                source=source,
-                target=target,
-                windows=len(result.windows),
-                best_nmi=best,
-                delay_range=result.delay_range(),
-            )
+
+    if n_jobs is not None and n_jobs != 1:
+        from repro.analysis.parallel import scan_pairs_parallel
+
+        return scan_pairs_parallel(
+            series,
+            config,
+            pairs=pair_list,
+            prefilter_threshold=prefilter_threshold,
+            engine=engine,
+            n_jobs=n_jobs,
         )
+
+    report = PairwiseReport()
+    for source, target in pair_list:
+        try:
+            tag, finding = _evaluate_pair(
+                source,
+                target,
+                series[source],
+                series[target],
+                config,
+                engine,
+                prefilter_threshold,
+            )
+        except Exception as exc:  # noqa: BLE001 - containment is the point
+            report.failures.append(
+                PairFailure(source=source, target=target, error=f"{type(exc).__name__}: {exc}")
+            )
+            continue
+        if tag == "skipped" or finding is None:
+            report.skipped.append((source, target))
+        else:
+            report.findings.append(finding)
     return report

@@ -1,0 +1,285 @@
+"""Process-pool pairwise scanning with shared-memory series transfer.
+
+A full pairwise scan runs one independent TYCOS search per pair -- an
+embarrassingly parallel workload, but one whose naive parallelisation
+ships every series to every worker inside every task.  This module fans
+:func:`repro.analysis.pairwise.scan_pairs` over a
+:class:`~concurrent.futures.ProcessPoolExecutor` while paying the data
+transfer cost exactly once:
+
+* The whole series collection is packed into a single
+  :class:`multiprocessing.shared_memory.SharedMemory` block; each worker
+  attaches read-only ``float64`` views at process start, so tasks carry
+  only pair *names*.  (A pickle fallback covers platforms or sandboxes
+  where POSIX shared memory is unavailable.)
+* Pairs are dispatched in chunks to amortise task overhead, and results
+  are merged by original submission index, so the report -- findings,
+  skipped pairs, and failures, each in order -- is byte-identical to the
+  serial scan for every worker count.
+* A pair whose search raises is contained: the scan completes and the
+  offending pair is reported in ``report.failures`` with its error,
+  matching the serial path's containment.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import FloatArray
+from repro.analysis.pairwise import PairFailure, PairwiseReport, _evaluate_pair
+from repro.core.config import TycosConfig
+from repro.core.tycos import Tycos
+
+__all__ = ["scan_pairs_parallel", "resolve_n_jobs"]
+
+# One (name, offset, length) entry per series inside the shared block,
+# offsets in *elements* of float64.
+_Layout = List[Tuple[str, int, int]]
+
+# Worker-process globals, populated once by the pool initializer.  Each
+# worker holds the attached series views plus the engine it scans with;
+# tasks then only need to name the pairs they cover.
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def resolve_n_jobs(n_jobs: int) -> int:
+    """Map an ``n_jobs`` request to a concrete worker count.
+
+    ``-1`` means every available core; any other value must be >= 1.
+    """
+    if n_jobs == -1:
+        return max(1, os.cpu_count() or 1)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return n_jobs
+
+
+def _pack_series(series: Dict[str, FloatArray]) -> Tuple[shared_memory.SharedMemory, _Layout]:
+    """Copy every series into one shared-memory block.
+
+    Returns the block (owned by the caller, who must close+unlink it) and
+    the layout workers need to rebuild their views.
+    """
+    layout: _Layout = []
+    offset = 0
+    for name, values in series.items():
+        layout.append((name, offset, int(values.size)))
+        offset += int(values.size)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, offset * 8))
+    for (name, start, length), values in zip(layout, series.values()):
+        view = np.ndarray((length,), dtype=np.float64, buffer=shm.buf, offset=start * 8)
+        view[:] = np.asarray(values, dtype=np.float64)
+    return shm, layout
+
+
+def _attach_series(shm: shared_memory.SharedMemory, layout: _Layout) -> Dict[str, FloatArray]:
+    """Rebuild read-only series views over an attached shared block."""
+    series: Dict[str, FloatArray] = {}
+    for name, start, length in layout:
+        view = np.ndarray((length,), dtype=np.float64, buffer=shm.buf, offset=start * 8)
+        view.flags.writeable = False
+        series[name] = view
+    return series
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing shared block without claiming ownership.
+
+    ``SharedMemory(name=...)`` registers the segment with the attaching
+    process's resource tracker even though the parent owns it
+    (python/cpython#82300).  On 3.13+ ``track=False`` opts out; earlier,
+    when the worker has its *own* tracker (spawn/forkserver) we unregister
+    so worker exit doesn't double-unlink the parent's segment.  Under
+    ``fork`` the tracker process is shared with the parent and the
+    duplicate registration is an idempotent set-add, so unregistering
+    there would instead erase the parent's entry.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        import multiprocessing
+        from multiprocessing import resource_tracker
+
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            resource_tracker.unregister(f"/{name}", "shared_memory")
+    except (ImportError, AttributeError, KeyError, ValueError):
+        # No tracker on this platform / already unregistered: the worst
+        # case is a spurious tracker warning at interpreter exit.
+        return shm
+    return shm
+
+
+def _init_worker_shm(
+    shm_name: str,
+    layout: _Layout,
+    engine: Tycos,
+    prefilter_threshold: float,
+) -> None:
+    """Pool initializer: attach the shared block and build series views."""
+    shm = _attach_untracked(shm_name)
+    _WORKER_STATE["shm"] = shm  # keep the mapping alive for the worker's life
+    _WORKER_STATE["series"] = _attach_series(shm, layout)
+    _WORKER_STATE["engine"] = engine
+    _WORKER_STATE["prefilter_threshold"] = prefilter_threshold
+
+
+def _init_worker_pickle(
+    series: Dict[str, FloatArray],
+    engine: Tycos,
+    prefilter_threshold: float,
+) -> None:
+    """Pool initializer fallback: series arrive pickled with the initargs."""
+    _WORKER_STATE["series"] = series
+    _WORKER_STATE["engine"] = engine
+    _WORKER_STATE["prefilter_threshold"] = prefilter_threshold
+
+
+# Task result payload: (submission index, tag, payload) where the tag is
+# "finding" (payload: PairFinding), "skipped" (payload: the pair), or
+# "failed" (payload: PairFailure).
+_ChunkResult = List[Tuple[int, str, Any]]
+
+
+def _scan_chunk(chunk: Sequence[Tuple[int, str, str]]) -> _ChunkResult:
+    """Worker task: evaluate a chunk of (index, source, target) pairs."""
+    series: Dict[str, FloatArray] = _WORKER_STATE["series"]
+    engine: Tycos = _WORKER_STATE["engine"]
+    threshold: float = _WORKER_STATE["prefilter_threshold"]
+    results: _ChunkResult = []
+    for index, source, target in chunk:
+        try:
+            tag, finding = _evaluate_pair(
+                source,
+                target,
+                series[source],
+                series[target],
+                engine.config,
+                engine,
+                threshold,
+            )
+        except Exception as exc:  # noqa: BLE001 - containment is the point
+            failure = PairFailure(
+                source=source, target=target, error=f"{type(exc).__name__}: {exc}"
+            )
+            results.append((index, "failed", failure))
+            continue
+        if tag == "skipped" or finding is None:
+            results.append((index, "skipped", (source, target)))
+        else:
+            results.append((index, "finding", finding))
+    return results
+
+
+def scan_pairs_parallel(
+    series: Dict[str, FloatArray],
+    config: TycosConfig,
+    pairs: Optional[Iterable[Tuple[str, str]]] = None,
+    prefilter_threshold: float = 0.0,
+    engine: Optional[Tycos] = None,
+    n_jobs: int = -1,
+    chunk_size: Optional[int] = None,
+    use_shared_memory: bool = True,
+) -> PairwiseReport:
+    """Fan a pairwise scan over a process pool.
+
+    The public entry point is ``scan_pairs(..., n_jobs=N)``, which
+    delegates here; call this directly only to reach the transport knobs.
+
+    Args:
+        series: name -> series mapping; all series must share a length.
+        config: search parameters applied to every pair.
+        pairs: explicit (source, target) pairs; default: all unordered
+            combinations of the collection's names.
+        prefilter_threshold: skip pairs whose prefilter score falls below
+            this (0 disables the pre-filter).
+        engine: optional preconfigured engine (default: TYCOS_LMN).  It is
+            shipped to the workers once, at pool start.
+        n_jobs: worker processes (``-1``: every available core).
+        chunk_size: pairs per task; default splits the work into about
+            four chunks per worker so stragglers rebalance.
+        use_shared_memory: pass series through one shared-memory block
+            (the default) rather than pickling them to every worker.
+
+    Returns:
+        A :class:`PairwiseReport` identical to the serial scan's: findings,
+        skipped pairs, and failures each in submission order.
+    """
+    names = list(series)
+    lengths = {series[name].size for name in names}
+    if len(lengths) > 1:
+        raise ValueError(f"all series must share a length, got {sorted(lengths)}")
+    if engine is None:
+        engine = Tycos(config)
+    if pairs is None:
+        from itertools import combinations
+
+        pair_list = list(combinations(names, 2))
+    else:
+        pair_list = list(pairs)
+    for source, target in pair_list:
+        if source not in series or target not in series:
+            raise KeyError(f"unknown series in pair ({source!r}, {target!r})")
+
+    workers = resolve_n_jobs(n_jobs)
+    if workers == 1 or not pair_list:
+        from repro.analysis.pairwise import scan_pairs
+
+        return scan_pairs(
+            series,
+            config,
+            pairs=pair_list,
+            prefilter_threshold=prefilter_threshold,
+            engine=engine,
+        )
+
+    tasks = [(i, s, t) for i, (s, t) in enumerate(pair_list)]
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(tasks) / (workers * 4)))
+    chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
+
+    shm: Optional[shared_memory.SharedMemory] = None
+    if use_shared_memory:
+        try:
+            shm, layout = _pack_series(series)
+        except (OSError, ValueError):
+            shm = None  # e.g. /dev/shm unavailable in a sandbox
+    try:
+        if shm is not None:
+            initializer = _init_worker_shm
+            initargs: Tuple[Any, ...] = (shm.name, layout, engine, prefilter_threshold)
+        else:
+            initializer = _init_worker_pickle  # type: ignore[assignment]
+            initargs = (series, engine, prefilter_threshold)
+        slots: List[Optional[Tuple[str, Any]]] = [None] * len(tasks)
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            for chunk_result in pool.map(_scan_chunk, chunks):
+                for index, tag, payload in chunk_result:
+                    slots[index] = (tag, payload)
+    finally:
+        if shm is not None:
+            shm.close()
+            shm.unlink()
+
+    report = PairwiseReport()
+    for slot in slots:
+        if slot is None:  # pragma: no cover - map() either fills all or raises
+            raise RuntimeError("parallel scan lost a pair result")
+        tag, payload = slot
+        if tag == "finding":
+            report.findings.append(payload)
+        elif tag == "skipped":
+            report.skipped.append(payload)
+        else:
+            report.failures.append(payload)
+    return report

@@ -44,6 +44,10 @@ class TycosConfig:
             within-window shuffles of Y (a permutation test against the
             independence null).  Guards against the small-window false
             positives any finite-sample MI estimator produces; 0 disables.
+        cache_capacity: upper bound on entries in a scorer's window-score
+            memo table.  The table is an LRU: long multi-restart searches
+            revisit mostly *recent* windows, so a generous cap keeps the
+            hit rate intact while bounding memory on big inputs.
         init_delay_step: stride of the coarse delay grid probed when
             choosing an initial window (default ``max(1, s_min // 2)``).
             Algorithm 1 seeds the search at delay 0 only, but the MI
@@ -68,6 +72,7 @@ class TycosConfig:
     jitter: float = 0.0
     seed: int = 0
     significance_permutations: int = 0
+    cache_capacity: int = 100_000
     init_delay_step: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -100,6 +105,8 @@ class TycosConfig:
             raise ValueError(f"max_idle must be >= 1, got {self.max_idle}")
         if self.jitter < 0:
             raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1, got {self.cache_capacity}")
 
     @property
     def epsilon(self) -> float:

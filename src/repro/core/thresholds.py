@@ -17,8 +17,9 @@ Section 6.3.2 alternative to a fixed sigma.
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import contracts
 from repro._types import FloatArray, WindowKey
@@ -27,9 +28,15 @@ from repro.core.window import PairView, TimeDelayWindow
 from repro.mi.entropy import binned_joint_entropy
 from repro.mi.ksg import KSGEstimator
 from repro.mi.incremental import SlidingKSG
+from repro.mi.neighbors import PairDistanceWorkspace
 from repro.mi.normalized import normalize_ratio, normalize_value
 
 __all__ = ["WindowScore", "BatchScorer", "IncrementalScorer", "TopKFilter", "make_scorer"]
+
+#: Widest union span (samples) a single shared distance workspace may
+#: cover; wider same-delay clusters are split, because the O(u^2) union
+#: broadcast must stay comparable to the windows it amortizes.
+_UNION_SPAN_LIMIT = 2048
 
 
 @dataclass(frozen=True)
@@ -51,6 +58,10 @@ class WindowScore:
 class BatchScorer:
     """Scores windows by running the KSG estimator from scratch each time.
 
+    The memo table is a capped LRU (``config.cache_capacity``): long
+    multi-restart searches revisit mostly recent windows, so bounding the
+    table costs no meaningful hit rate while keeping memory flat.
+
     Attributes:
         evaluations: number of windows whose MI was actually computed.
         cache_hits: number of scores served from the memo table.
@@ -60,38 +71,181 @@ class BatchScorer:
         self._pair = pair
         self._config = config
         self._estimator = KSGEstimator(k=config.k)
-        self._cache: Dict[WindowKey, WindowScore] = {}
+        self._cache: "OrderedDict[WindowKey, WindowScore]" = OrderedDict()
+        self._cache_capacity = config.cache_capacity
         self.evaluations = 0
         self.cache_hits = 0
 
     def score(self, window: TimeDelayWindow) -> WindowScore:
         """MI and normalized MI of a window (memoized)."""
-        key = window.key()
-        hit = self._cache.get(key)
+        hit = self._cache_get(window.key())
         if hit is not None:
             self.cache_hits += 1
             return hit
         x, y = self._pair.extract(window)
         mi = self._estimator.mi(x, y)
-        entropy = binned_joint_entropy(x, y)
-        score = WindowScore(
-            mi=mi, nmi=normalize_value(mi, entropy), ratio=normalize_ratio(mi, entropy)
-        )
-        if contracts.checks_enabled():
-            contracts.check_mi_finite(score.mi, where="BatchScorer.score")
-            contracts.check_nmi_range(score.nmi, where="BatchScorer.score")
-        self._cache[key] = score
-        self.evaluations += 1
-        return score
+        return self._finish(window, mi, x, y)
+
+    def score_many(self, windows: Sequence[TimeDelayWindow]) -> List[WindowScore]:
+        """Scores for many windows in one call, batching same-delay groups.
+
+        Windows that share a delay (e.g. the delta-neighbors of one LAHC
+        ring) draw their sample pairs from one short union sub-series, so
+        their k-NN geometry is computed through a single
+        :class:`~repro.mi.neighbors.PairDistanceWorkspace` -- one
+        ``O(u^2)`` pairwise-distance broadcast for the whole group instead
+        of one per window.  Scores are *exactly* the ones :meth:`score`
+        would produce (same floats, same memoization); only the amount of
+        redundant kernel work changes.  Windows the batch kernel cannot
+        serve (cache hits, non-bruteforce backends, or -- in the
+        incremental subclass -- on-trajectory engine evaluations) fall
+        back to :meth:`score` in input order.
+        """
+        out: List[Optional[WindowScore]] = [None] * len(windows)
+        grouped: Dict[int, List[int]] = {}
+        for i, w in enumerate(windows):
+            hit = self._cache_get(w.key())
+            if hit is not None:
+                self.cache_hits += 1
+                out[i] = hit
+            elif self._batchable(w):
+                grouped.setdefault(w.delay, []).append(i)
+            else:
+                out[i] = self.score(w)
+        for positions in grouped.values():
+            for cluster in self._span_clusters(windows, positions):
+                if len(cluster) == 1:
+                    out[cluster[0]] = self.score(windows[cluster[0]])
+                else:
+                    self._score_cluster(windows, cluster, out)
+        return [s for s in out if s is not None]
 
     def value(self, window: TimeDelayWindow) -> float:
         """The scalar the search maximizes (unclamped ratio or raw MI)."""
         score = self.score(window)
         return score.ratio if self._config.use_normalized else score.mi
 
+    def value_many(self, windows: Sequence[TimeDelayWindow]) -> List[float]:
+        """Objective values of many windows via one batched scoring pass.
+
+        Equivalent to ``[self.value(w) for w in windows]`` -- same floats,
+        same cache and stats bookkeeping -- but same-delay groups share one
+        distance workspace (see :meth:`score_many`).
+        """
+        scores = self.score_many(windows)
+        if self._config.use_normalized:
+            return [s.ratio for s in scores]
+        return [s.mi for s in scores]
+
     def clear_cache(self) -> None:
         """Drop the memo table (used between independent restarts)."""
         self._cache.clear()
+
+    # -- memo table (capped LRU) --------------------------------------- #
+
+    def _cache_get(self, key: WindowKey) -> Optional[WindowScore]:
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._cache.move_to_end(key)
+        return hit
+
+    def _cache_put(self, key: WindowKey, score: WindowScore) -> None:
+        self._cache[key] = score
+        self._cache.move_to_end(key)
+        if len(self._cache) > self._cache_capacity:
+            self._cache.popitem(last=False)
+
+    # -- batched scoring ------------------------------------------------ #
+
+    def _batchable(self, window: TimeDelayWindow) -> bool:
+        """Can this window's geometry come from a shared workspace?
+
+        Requires the brute-force k-NN backend (the batch kernel replicates
+        exactly that math) and in-bounds sample ranges (out-of-bounds
+        windows must keep raising through the scalar path).
+        """
+        n = self._pair.n
+        return (
+            self._estimator.resolved_backend(window.size) == "bruteforce"
+            and 0 <= window.start
+            and window.end < n
+            and 0 <= window.y_start
+            and window.y_end < n
+        )
+
+    @staticmethod
+    def _span_clusters(
+        windows: Sequence[TimeDelayWindow], positions: List[int]
+    ) -> List[List[int]]:
+        """Split same-delay windows into overlapping-span clusters.
+
+        Windows that do not overlap (or would stretch the union past
+        ``_UNION_SPAN_LIMIT``) gain nothing from a shared workspace, so
+        each cluster covers one contiguous stretch of the series.
+        """
+        ordered = sorted(positions, key=lambda i: (windows[i].start, windows[i].end))
+        clusters: List[List[int]] = []
+        lo = hi = 0
+        for i in ordered:
+            w = windows[i]
+            if (
+                clusters
+                and w.start <= hi + 1
+                and max(hi, w.end) - lo + 1 <= _UNION_SPAN_LIMIT
+            ):
+                clusters[-1].append(i)
+                hi = max(hi, w.end)
+            else:
+                clusters.append([i])
+                lo, hi = w.start, w.end
+        return clusters
+
+    def _score_cluster(
+        self,
+        windows: Sequence[TimeDelayWindow],
+        cluster: List[int],
+        out: List[Optional[WindowScore]],
+    ) -> None:
+        """Score one same-delay cluster through a shared workspace."""
+        lo = min(windows[i].start for i in cluster)
+        hi = max(windows[i].end for i in cluster)
+        delay = windows[cluster[0]].delay
+        x = self._pair.x
+        y = self._pair.y
+        workspace = PairDistanceWorkspace(
+            x[lo : hi + 1], y[lo + delay : hi + delay + 1]
+        )
+        table = workspace.digamma_table()
+        for i in cluster:
+            w = windows[i]
+            hit = self._cache_get(w.key())
+            if hit is not None:
+                # Duplicate window inside one batch: second occurrence is a
+                # cache hit, exactly as in a scalar evaluation sequence.
+                self.cache_hits += 1
+                out[i] = hit
+                continue
+            k = self._estimator.effective_k(w.size)
+            knn = workspace.knn(w.start - lo, w.size, k)
+            xw, yw = self._pair.extract(w)
+            mi = self._estimator.mi_from_geometry(xw, yw, knn, k, digamma_table=table)
+            out[i] = self._finish(w, mi, xw, yw)
+
+    def _finish(
+        self, window: TimeDelayWindow, mi: float, xw: FloatArray, yw: FloatArray
+    ) -> WindowScore:
+        """Normalize, contract-check, memoize and count one evaluation."""
+        entropy = binned_joint_entropy(xw, yw)
+        score = WindowScore(
+            mi=mi, nmi=normalize_value(mi, entropy), ratio=normalize_ratio(mi, entropy)
+        )
+        if contracts.checks_enabled():
+            where = f"{type(self).__name__}.score"
+            contracts.check_mi_finite(score.mi, where=where)
+            contracts.check_nmi_range(score.nmi, where=where)
+        self._cache_put(window.key(), score)
+        self.evaluations += 1
+        return score
 
 
 class IncrementalScorer(BatchScorer):
@@ -134,9 +288,23 @@ class IncrementalScorer(BatchScorer):
         """
         self._trajectory_delay = delay
 
+    def _batchable(self, window: TimeDelayWindow) -> bool:
+        """Batch only the windows :meth:`score` serves via the batch path.
+
+        On-trajectory windows of engine size must keep flowing through
+        :meth:`score` one at a time, in evaluation order, because they
+        mutate the sliding engine (Section 7 diffs).  Off-trajectory
+        probes and sub-engine-size windows are pure batch estimates, so
+        the shared workspace may compute them in any grouping.
+        """
+        if not super()._batchable(window):
+            return False
+        return window.size < self.min_engine_size or (
+            self._trajectory_delay is not None and window.delay != self._trajectory_delay
+        )
+
     def score(self, window: TimeDelayWindow) -> WindowScore:
-        key = window.key()
-        hit = self._cache.get(key)
+        hit = self._cache_get(window.key())
         if hit is not None:
             self.cache_hits += 1
             return hit
@@ -189,20 +357,6 @@ class IncrementalScorer(BatchScorer):
         mi = self._engine.mi()
         xw, yw = self._pair.extract(window)
         return self._finish(window, mi, xw, yw)
-
-    def _finish(
-        self, window: TimeDelayWindow, mi: float, xw: FloatArray, yw: FloatArray
-    ) -> WindowScore:
-        entropy = binned_joint_entropy(xw, yw)
-        score = WindowScore(
-            mi=mi, nmi=normalize_value(mi, entropy), ratio=normalize_ratio(mi, entropy)
-        )
-        if contracts.checks_enabled():
-            contracts.check_mi_finite(score.mi, where="IncrementalScorer.score")
-            contracts.check_nmi_range(score.nmi, where="IncrementalScorer.score")
-        self._cache[window.key()] = score
-        self.evaluations += 1
-        return score
 
     @staticmethod
     def _diff_cost(base: TimeDelayWindow, window: TimeDelayWindow) -> int:

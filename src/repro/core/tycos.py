@@ -34,7 +34,7 @@ from repro.core.lahc import LateAcceptanceHillClimbing
 from repro.core.neighborhood import neighborhood
 from repro.core.noise import NoiseDetector, find_initial_window
 from repro.core.results import OverlapPolicy, ResultSet, WindowResult
-from repro.core.thresholds import IncrementalScorer, TopKFilter, make_scorer
+from repro.core.thresholds import BatchScorer, IncrementalScorer, TopKFilter, make_scorer
 from repro.core.window import PairView, TimeDelayWindow
 
 __all__ = [
@@ -108,6 +108,12 @@ class Tycos:
         use_incremental: enable the Section-7 incremental MI computation
             (the "M" in LM/LMN).
         overlap_policy: how the result set resolves overlapping windows.
+        batched_scoring: score each delta-neighborhood ring through one
+            batched :meth:`BatchScorer.value_many` call (same-delay
+            neighbors share a single pairwise-distance workspace) instead
+            of one scorer call per candidate.  Scores and results are
+            identical either way; the flag exists so benchmarks can
+            measure the batched kernel against the scalar path.
     """
 
     def __init__(
@@ -116,11 +122,13 @@ class Tycos:
         use_noise: bool = True,
         use_incremental: bool = True,
         overlap_policy: OverlapPolicy = OverlapPolicy.CONTAINMENT,
+        batched_scoring: bool = True,
     ) -> None:
         self.config = config
         self.use_noise = use_noise
         self.use_incremental = use_incremental
         self.overlap_policy = overlap_policy
+        self.batched_scoring = batched_scoring
 
     @property
     def name(self) -> str:
@@ -202,6 +210,9 @@ class Tycos:
         stats.cache_hits = scorer.cache_hits
         if detector is not None:
             stats.noise_prunes = detector.prunes
+        if isinstance(scorer, IncrementalScorer):
+            stats.mi_full_searches = scorer.engine.full_searches
+            stats.mi_incremental_updates = scorer.engine.incremental_updates
         stats.runtime_seconds = time.perf_counter() - started
         windows = [
             WindowResult(window=w, mi=scorer.score(w).mi, nmi=scorer.score(w).nmi)
@@ -262,6 +273,9 @@ class Tycos:
                 # incremental scorer's on-trajectory diffs chain between
                 # adjacent windows instead of ping-ponging across the ring.
                 nbs.sort(key=lambda nb: (nb.window.delay, nb.window.start, nb.window.end))
+                if self.batched_scoring:
+                    ring = [nb.window for nb in nbs]
+                    return list(zip(ring, scorer.value_many(ring)))
                 return [(nb.window, scorer.value(nb.window)) for nb in nbs]
 
             ascent = lahc.search(w0, v0, candidates)

@@ -32,6 +32,7 @@ from repro.mi.ksg import KSGEstimator, ksg_mi
 from repro.mi.mixture import mix_samples, theorem61_gap
 from repro.mi.neighbors import (
     GridIndex,
+    PairDistanceWorkspace,
     chebyshev_knn_bruteforce,
     chebyshev_knn_grid,
     marginal_counts,
@@ -47,6 +48,7 @@ __all__ = [
     "KDTree",
     "chebyshev_knn_kdtree",
     "GridIndex",
+    "PairDistanceWorkspace",
     "chebyshev_knn_bruteforce",
     "chebyshev_knn_grid",
     "marginal_counts",

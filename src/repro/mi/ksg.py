@@ -21,12 +21,13 @@ values; callers that need a dependence score should clamp (see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 from scipy.special import digamma
 
 from repro import contracts
-from repro._types import AnyArray, FloatArray
+from repro._types import AnyArray, FloatArray, IntArray
 from repro.mi.neighbors import (
     KnnResult,
     chebyshev_knn_bruteforce,
@@ -66,10 +67,14 @@ class KSGEstimator:
         if self.backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {self.backend!r}")
 
+    def resolved_backend(self, m: int) -> str:
+        """The neighbor-search backend actually used for ``m`` samples."""
+        if self.backend == "auto":
+            return "grid" if m >= _GRID_CUTOVER else "bruteforce"
+        return self.backend
+
     def _knn(self, x: FloatArray, y: FloatArray, k: int) -> KnnResult:
-        backend = self.backend
-        if backend == "auto":
-            backend = "grid" if x.size >= _GRID_CUTOVER else "bruteforce"
+        backend = self.resolved_backend(x.size)
         if backend == "grid":
             return chebyshev_knn_grid(x, y, k)
         if backend == "kdtree":
@@ -110,13 +115,44 @@ class KSGEstimator:
         knn = self._knn(x, y, k)
         return self.mi_from_geometry(x, y, knn, k)
 
-    def mi_from_geometry(self, x: FloatArray, y: FloatArray, knn: KnnResult, k: int) -> float:
+    def mi_from_geometry(
+        self,
+        x: FloatArray,
+        y: FloatArray,
+        knn: KnnResult,
+        k: int,
+        digamma_table: Optional[FloatArray] = None,
+    ) -> float:
         """Finish an MI estimate given precomputed k-NN geometry.
 
         Split out so the incremental engine (Section 7) can reuse its
-        maintained neighbor sets.
+        maintained neighbor sets and the batched ring scorer can amortize
+        one neighbor workspace across a whole delta-neighborhood.
+
+        Args:
+            x: window samples of the first series.
+            y: paired window samples of the second series.
+            knn: precomputed neighbor geometry for the window.
+            k: neighbor count the geometry was built with.
+            digamma_table: optional precomputed ``digamma(i)`` for
+                ``i = 1..len(table)`` (``table[i - 1] == digamma(i)``);
+                every digamma argument here is a positive integer ``<= m``,
+                so a caller evaluating many windows can share one table.
+                The table values are exact scipy evaluations, so supplying
+                it never changes the estimate.
         """
         m = x.size
+
+        def psi_int(values: IntArray) -> FloatArray:
+            if digamma_table is not None:
+                return np.asarray(digamma_table[values - 1], dtype=np.float64)
+            return np.asarray(digamma(values), dtype=np.float64)
+
+        def psi_scalar(value: int) -> float:
+            if digamma_table is not None:
+                return float(digamma_table[value - 1])
+            return float(digamma(value))
+
         if self.algorithm == 2:
             n_x = marginal_counts(x, knn.eps_x, strict=False)
             n_y = marginal_counts(y, knn.eps_y, strict=False)
@@ -125,18 +161,18 @@ class KSGEstimator:
             n_x = np.maximum(n_x, 1)
             n_y = np.maximum(n_y, 1)
             value = (
-                digamma(k)
+                psi_scalar(k)
                 - 1.0 / k
-                - float(np.mean(digamma(n_x) + digamma(n_y)))
-                + digamma(m)
+                - float(np.mean(psi_int(n_x) + psi_int(n_y)))
+                + psi_scalar(m)
             )
         else:
             n_x = marginal_counts(x, knn.kth_distance, strict=True)
             n_y = marginal_counts(y, knn.kth_distance, strict=True)
             value = (
-                digamma(k)
-                - float(np.mean(digamma(n_x + 1) + digamma(n_y + 1)))
-                + digamma(m)
+                psi_scalar(k)
+                - float(np.mean(psi_int(n_x + 1) + psi_int(n_y + 1)))
+                + psi_scalar(m)
             )
         if contracts.checks_enabled():
             contracts.check_mi_finite(float(value), where="KSGEstimator.mi_from_geometry")

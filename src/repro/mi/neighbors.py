@@ -21,7 +21,7 @@ Marginal counts are computed with sorted projections and binary search
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +33,7 @@ __all__ = [
     "chebyshev_knn_grid",
     "marginal_counts",
     "GridIndex",
+    "PairDistanceWorkspace",
 ]
 
 
@@ -98,6 +99,98 @@ def chebyshev_knn_bruteforce(x: AnyArray, y: AnyArray, k: int) -> KnnResult:
     return KnnResult(kth_distance=kth_distance, eps_x=eps_x, eps_y=eps_y, indices=neighbor_idx)
 
 
+class PairDistanceWorkspace:
+    """Shared pairwise-distance workspace over the union span of windows.
+
+    The delta-neighbors probed during one LAHC ring share a delay and
+    overlap heavily, so their sample pairs are all drawn from one short
+    union sub-series.  Instead of recomputing the O(m^2) ``|dx|`` / ``|dy|``
+    broadcasts per window, this workspace computes them once over the union
+    and answers each window's k-NN query from principal submatrices.
+
+    The per-window geometry is *identical* to
+    :func:`chebyshev_knn_bruteforce`: a window's distance submatrix holds
+    exactly the values the brute-force kernel would compute (the union
+    diagonal is pre-filled with ``inf``, and every principal submatrix
+    shares that diagonal), and the selection runs on a contiguous copy so
+    even tie-breaking inside ``argpartition`` matches the scalar path.
+
+    Args:
+        x_union: x-side samples of the union span, shape ``(u,)``.
+        y_union: paired y-side samples of the union span, shape ``(u,)``.
+    """
+
+    def __init__(self, x_union: AnyArray, y_union: AnyArray) -> None:
+        x = np.asarray(x_union, dtype=np.float64).ravel()
+        y = np.asarray(y_union, dtype=np.float64).ravel()
+        if x.size != y.size:
+            raise ValueError(f"x and y must have equal length, got {x.size} and {y.size}")
+        if x.size < 2:
+            raise ValueError(f"need at least 2 samples, got {x.size}")
+        self._dx = np.abs(x[:, None] - x[None, :])
+        self._dy = np.abs(y[:, None] - y[None, :])
+        self._dist = np.maximum(self._dx, self._dy)
+        np.fill_diagonal(self._dist, np.inf)
+        #: Digamma lookup for integer arguments ``1..u`` shared by every
+        #: window of the group (lazily built by :meth:`digamma_table`).
+        self._digamma: Optional[FloatArray] = None
+        # Row-index column reused by every knn gather (sliced per window).
+        self._rows = np.arange(self._dist.shape[0], dtype=np.intp)[:, None]
+
+    @property
+    def size(self) -> int:
+        """Number of samples in the union span."""
+        return self._dist.shape[0]
+
+    def digamma_table(self) -> FloatArray:
+        """``digamma(i)`` for ``i = 1..size``, computed once per workspace.
+
+        ``table[i - 1] == digamma(i)`` exactly (same scipy evaluation on the
+        same float64 inputs), so estimator code can gather instead of
+        re-evaluating the transcendental per window.
+        """
+        if self._digamma is None:
+            from scipy.special import digamma
+
+            self._digamma = np.asarray(
+                digamma(np.arange(1, self.size + 1, dtype=np.float64)), dtype=np.float64
+            )
+        return self._digamma
+
+    def knn(self, offset: int, m: int, k: int) -> KnnResult:
+        """k-NN geometry of the ``m``-sample window at ``offset`` in the union.
+
+        Args:
+            offset: index of the window's first sample within the union.
+            m: window size (``offset + m <= size``).
+            k: number of neighbors (``1 <= k < m``).
+
+        Returns:
+            The same :class:`KnnResult` :func:`chebyshev_knn_bruteforce`
+            would return for the extracted window.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if m <= k:
+            raise ValueError(f"need more than k={k} samples, got {m}")
+        if offset < 0 or offset + m > self.size:
+            raise ValueError(
+                f"window [{offset}, {offset + m}) exceeds union span of {self.size} samples"
+            )
+        sel = slice(offset, offset + m)
+        # Contiguous copy so argpartition sees the exact buffer the scalar
+        # kernel builds (identical values *and* identical tie resolution).
+        dist = np.ascontiguousarray(self._dist[sel, sel])
+        neighbor_idx = np.argpartition(dist, k - 1, axis=1)[:, :k]
+        rows = self._rows[:m]
+        kth_distance = dist[rows, neighbor_idx].max(axis=1)
+        eps_x = self._dx[sel, sel][rows, neighbor_idx].max(axis=1)
+        eps_y = self._dy[sel, sel][rows, neighbor_idx].max(axis=1)
+        return KnnResult(
+            kth_distance=kth_distance, eps_x=eps_x, eps_y=eps_y, indices=neighbor_idx
+        )
+
+
 class GridIndex:
     """Uniform grid over 2-D points supporting Chebyshev k-NN queries.
 
@@ -156,35 +249,42 @@ class GridIndex:
         x, y = self._x, self._y
         qx, qy = x[i], y[i]
         cx, cy = int(self._cx[i]), int(self._cy[i])
-        candidates: List[int] = []
+        seen = 0
         r = 0
-        # Expand rings until the k-th best distance is certainly final.
+        # Expand rings until the k-th best distance is certainly final,
+        # scoring only the candidates each new ring contributes and folding
+        # them into a running top-k (never re-scanning earlier rings).
         best_idx = np.empty(0, dtype=np.int64)
         best_dist = np.empty(0)
         while True:
-            added = False
+            fresh: List[int] = []
             for cell in self._ring_cells(cx, cy, r):
                 bucket = self._buckets.get(cell)
                 if bucket:
-                    candidates.extend(bucket)
-                    added = True
-            if added or r == 0:
-                cand = np.asarray([c for c in candidates if c != i], dtype=np.int64)
-                if cand.size >= k:
+                    fresh.extend(bucket)
+            if fresh:
+                cand = np.asarray([c for c in fresh if c != i], dtype=np.int64)
+                if cand.size:
+                    seen += cand.size
                     d = np.maximum(np.abs(x[cand] - qx), np.abs(y[cand] - qy))
-                    order = np.argpartition(d, k - 1)[:k]
-                    best_idx = cand[order]
-                    best_dist = d[order]
-                    # Every point not yet visited lies in a ring at radius
-                    # > r, hence at distance > (r) * cell - offset; the safe
-                    # bound is (r) * cell because the query point can sit on
-                    # a cell border.
-                    if best_dist.max() <= r * self._cell:
-                        break
+                    merged_idx = np.concatenate((best_idx, cand))
+                    merged_dist = np.concatenate((best_dist, d))
+                    if merged_idx.size > k:
+                        order = np.argpartition(merged_dist, k - 1)[:k]
+                        best_idx = merged_idx[order]
+                        best_dist = merged_dist[order]
+                    else:
+                        best_idx = merged_idx
+                        best_dist = merged_dist
+            # Every point not yet visited lies in a ring at radius > r,
+            # hence at distance > (r) * cell - offset; the safe bound is
+            # (r) * cell because the query point can sit on a cell border.
+            if best_idx.size >= k and best_dist.max() <= r * self._cell:
+                break
             r += 1
-            if r > 2 * max(1, int(np.sqrt(x.size))) + 2 and candidates:
+            if r > 2 * max(1, int(np.sqrt(x.size))) + 2 and seen:
                 # Degenerate layouts (all points stacked in few cells):
-                # fall back to scanning everything collected so far plus rest.
+                # fall back to scanning the full point set.
                 cand = np.asarray([j for j in range(x.size) if j != i], dtype=np.int64)
                 d = np.maximum(np.abs(x[cand] - qx), np.abs(y[cand] - qy))
                 order = np.argpartition(d, k - 1)[:k]

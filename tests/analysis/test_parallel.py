@@ -1,0 +1,130 @@
+"""Tests for the process-pool pairwise scanner.
+
+The contract under test: for any worker count, transport, and chunking,
+``scan_pairs(..., n_jobs=N)`` returns a report byte-identical to the
+serial scan -- findings, skipped pairs, and failures, each in submission
+order -- and one poisoned pair never aborts the scan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pairwise import PairFailure, scan_pairs
+from repro.analysis.parallel import resolve_n_jobs, scan_pairs_parallel
+from repro.core.config import TycosConfig
+
+
+def _config(**kwargs):
+    defaults = dict(sigma=0.3, s_min=8, s_max=40, td_max=6, jitter=1e-6, seed=1)
+    defaults.update(kwargs)
+    return TycosConfig(**defaults)
+
+
+def _snapshot(report):
+    return (report.findings, report.skipped, report.failures)
+
+
+@pytest.fixture(scope="module")
+def collection():
+    rng = np.random.default_rng(77)
+    n = 240
+    base = np.cumsum(rng.normal(size=n))
+    return {
+        "a": base + rng.normal(scale=0.1, size=n),
+        "b": np.roll(base, 4) + rng.normal(scale=0.1, size=n),
+        "c": rng.normal(size=n),
+        "d": rng.normal(size=n),
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_report(collection):
+    return scan_pairs(collection, _config(), prefilter_threshold=0.05)
+
+
+class TestParallelDeterminism:
+    def test_two_workers_match_serial(self, collection, serial_report):
+        parallel = scan_pairs(collection, _config(), prefilter_threshold=0.05, n_jobs=2)
+        assert _snapshot(parallel) == _snapshot(serial_report)
+
+    def test_pickle_transport_matches_serial(self, collection, serial_report):
+        parallel = scan_pairs_parallel(
+            collection,
+            _config(),
+            prefilter_threshold=0.05,
+            n_jobs=2,
+            use_shared_memory=False,
+        )
+        assert _snapshot(parallel) == _snapshot(serial_report)
+
+    def test_single_pair_chunks_match_serial(self, collection, serial_report):
+        parallel = scan_pairs_parallel(
+            collection, _config(), prefilter_threshold=0.05, n_jobs=2, chunk_size=1
+        )
+        assert _snapshot(parallel) == _snapshot(serial_report)
+
+    def test_explicit_pair_order_is_preserved(self, collection):
+        pairs = [("d", "c"), ("a", "b"), ("b", "c")]
+        serial = scan_pairs(collection, _config(), pairs=pairs)
+        parallel = scan_pairs(collection, _config(), pairs=pairs, n_jobs=2)
+        assert [(f.source, f.target) for f in serial.findings] == pairs
+        assert _snapshot(parallel) == _snapshot(serial)
+
+
+class TestFailureContainment:
+    @pytest.fixture(scope="class")
+    def poisoned(self):
+        rng = np.random.default_rng(5)
+        n = 240
+        base = np.cumsum(rng.normal(size=n))
+        return {
+            "good": base + rng.normal(scale=0.1, size=n),
+            "alsogood": np.roll(base, 3) + rng.normal(scale=0.1, size=n),
+            "bad": np.full(n, np.nan),
+        }
+
+    def test_serial_scan_survives_a_poisoned_pair(self, poisoned):
+        report = scan_pairs(poisoned, _config())
+        assert len(report.findings) == 1  # (good, alsogood)
+        assert len(report.failures) == 2  # every pair touching "bad"
+        assert all(isinstance(f, PairFailure) for f in report.failures)
+        assert all("finite" in f.error for f in report.failures)
+
+    def test_parallel_failures_match_serial(self, poisoned):
+        serial = scan_pairs(poisoned, _config())
+        parallel = scan_pairs(poisoned, _config(), n_jobs=2)
+        assert _snapshot(parallel) == _snapshot(serial)
+
+    def test_failures_are_reported_in_text(self, poisoned):
+        report = scan_pairs(poisoned, _config())
+        assert "2 pairs failed" in report.to_text()
+
+    def test_unknown_names_still_raise_upfront(self, poisoned):
+        with pytest.raises(KeyError, match="unknown series"):
+            scan_pairs(poisoned, _config(), pairs=[("good", "zz")], n_jobs=2)
+
+
+class TestNJobsHandling:
+    def test_resolve_all_cores(self):
+        import os
+
+        assert resolve_n_jobs(-1) == max(1, os.cpu_count() or 1)
+
+    def test_resolve_rejects_zero_and_negatives(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            resolve_n_jobs(0)
+        with pytest.raises(ValueError, match="n_jobs"):
+            resolve_n_jobs(-2)
+
+    def test_n_jobs_one_is_the_serial_path(self, collection, serial_report):
+        report = scan_pairs(collection, _config(), prefilter_threshold=0.05, n_jobs=1)
+        assert _snapshot(report) == _snapshot(serial_report)
+
+    def test_empty_pair_list(self, collection):
+        report = scan_pairs(collection, _config(), pairs=[], n_jobs=2)
+        assert report.findings == [] and report.skipped == [] and report.failures == []
+
+    def test_mismatched_lengths_rejected(self):
+        series = {"a": np.zeros(100), "b": np.zeros(99)}
+        with pytest.raises(ValueError, match="share a length"):
+            scan_pairs_parallel(series, _config(), n_jobs=2)
