@@ -1,18 +1,33 @@
-"""Tracked performance baseline for the parallel scan + batched scorer.
+"""Tracked performance baseline for the parallel scan + MI kernel caches.
 
-Runs two pinned-seed benchmarks and emits one JSON document:
+Runs four pinned-seed benchmarks and emits one JSON document:
 
 * **pairwise** -- a synthetic sensor collection scanned with
   ``scan_pairs`` serially and at several worker counts, timing the
   end-to-end scan and the speedup over serial.
-* **scoring** -- one full TYCOS search with the per-window scalar scorer
-  (``batched_scoring=False``, the pre-PR engine) versus the batched
-  neighborhood scorer, reporting windows/second and the batched speedup.
+* **gate** -- a small fixed scalar-path search whose windows/second is
+  the regression reference for ``--check-against``; it is identical in
+  smoke and full mode so CI numbers compare against committed ones.
+* **kernel** -- micro-benchmarks of the three PR-3 kernel caches
+  (shared digamma table, maintained sorted marginals, per-delay
+  distance workspace), each asserting the cached path returns *exactly*
+  the reference path's floats before reporting its speedup.
+* **scoring** -- one full TYCOS search per cache ablation: the scalar
+  per-window scorer with every cache off (the pre-PR cost model), the
+  scalar scorer with caches on, and the batched neighborhood scorer
+  with each cache switched off in turn and with all of them on.  Every
+  ablation must return the same windows and MI values; only the time
+  may change.
 
 Usage::
 
-    python benchmarks/run_bench.py --output BENCH_PR2.json   # full baseline
-    python benchmarks/run_bench.py --smoke                   # CI smoke run
+    python benchmarks/run_bench.py --output BENCH_PR3.json   # full baseline
+    python benchmarks/run_bench.py --smoke                   # CI health check
+    python benchmarks/run_bench.py --smoke --check-against BENCH_PR3.json
+
+``--check-against`` compares this run's **gate** windows/second with the
+committed document's and exits non-zero when it regressed by more than
+``--max-regression`` (default 0.30, i.e. 30%).
 
 Every timing is the best of ``--repeats`` runs (min, not mean: the
 minimum is the least noisy estimator of the cost floor on a shared
@@ -30,7 +45,7 @@ import os
 import platform
 import sys
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,8 +54,32 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."
 from repro.analysis.pairwise import scan_pairs  # noqa: E402
 from repro.core.config import TycosConfig  # noqa: E402
 from repro.core.tycos import Tycos  # noqa: E402
+from repro.mi.digamma import digamma_direct, shared_digamma_table  # noqa: E402
+from repro.mi.ksg import KSGEstimator  # noqa: E402
+from repro.mi.neighbors import (  # noqa: E402
+    PairDistanceWorkspace,
+    chebyshev_knn_bruteforce,
+    marginal_counts,
+)
 
-SCHEMA = "tycos-bench-pr2/1"
+SCHEMA = "tycos-bench-pr3/1"
+
+#: Cache knobs of the scoring ablations.  Keys are TycosConfig fields.
+_ALL_CACHES_OFF = {
+    "use_digamma_table": False,
+    "use_sorted_marginals": False,
+    "workspace_cache_size": 0,
+}
+
+#: (row label, batched scoring?, config overrides) per scoring ablation.
+_SCORING_VARIANTS: List[Tuple[str, bool, Dict[str, Any]]] = [
+    ("scalar_baseline", False, dict(_ALL_CACHES_OFF)),
+    ("scalar", False, {}),
+    ("batched_no_digamma", True, {"use_digamma_table": False}),
+    ("batched_no_sorted_marginals", True, {"use_sorted_marginals": False}),
+    ("batched_no_workspace_cache", True, {"workspace_cache_size": 0}),
+    ("batched", True, {}),
+]
 
 
 def make_collection(n_series: int, length: int, seed: int) -> Dict[str, Any]:
@@ -63,7 +102,16 @@ def make_collection(n_series: int, length: int, seed: int) -> Dict[str, Any]:
     return series
 
 
-def best_of(repeats: int, fn: Any) -> float:
+def make_scoring_pair(length: int, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    """The pinned coupled pair every scoring/gate search runs on."""
+    rng = np.random.default_rng(seed)
+    base = np.cumsum(rng.normal(size=length))
+    x = base + rng.normal(scale=0.1, size=length)
+    y = np.roll(base, 7) + rng.normal(scale=0.1, size=length)
+    return x, y
+
+
+def best_of(repeats: int, fn: Callable[[], None]) -> float:
     """Minimum wall-clock seconds of ``repeats`` calls to ``fn``."""
     took = []
     for _ in range(repeats):
@@ -119,36 +167,214 @@ def bench_pairwise(
     }
 
 
+def bench_gate(seed: int) -> Dict[str, Any]:
+    """The fixed regression-gate workload (same in smoke and full mode).
+
+    A small scalar-path search with every cache on: the configuration CI
+    exercises on every push, so its windows/second can be compared against
+    the committed document regardless of which mode produced it.  Always
+    best-of-3: the gate exists to be compared, so it gets the extra
+    repeats even in smoke mode.
+    """
+    length = 400
+    config = TycosConfig(sigma=0.3, s_min=8, s_max=40, td_max=8, jitter=1e-6, seed=seed)
+    x, y = make_scoring_pair(length, seed + 1)
+    box: List[Any] = []
+
+    def run() -> None:
+        box.append(Tycos(config, batched_scoring=False).search(x, y))
+
+    seconds = best_of(3, run)
+    windows = box[-1].stats.windows_evaluated
+    return {
+        "series_length": length,
+        "seconds": round(seconds, 4),
+        "windows_evaluated": windows,
+        "windows_per_second": round(windows / seconds, 1),
+    }
+
+
+def _timed_loop(repeats: int, calls: int, fn: Callable[[], None]) -> float:
+    """Best-of-``repeats`` seconds for ``calls`` invocations of ``fn``."""
+
+    def run() -> None:
+        for _ in range(calls):
+            fn()
+
+    return best_of(repeats, run)
+
+
+def bench_kernel(repeats: int) -> Dict[str, Any]:
+    """Micro-benchmarks of the kernel caches, exact-equality asserted.
+
+    Each entry times the cached path against its reference path on pinned
+    data and verifies first that both return identical floats -- the
+    caches are amortizations, never approximations.
+    """
+    rng = np.random.default_rng(97)
+    out: Dict[str, Any] = {}
+
+    # -- shared digamma table vs direct scipy evaluations -------------- #
+    # End-to-end equality first (the table must never change an estimate),
+    # then the timing of the evaluation unit itself: a per-window batch of
+    # integer digamma arguments served by table gather vs scipy ufunc.
+    m = 512
+    base = np.cumsum(rng.normal(size=m))
+    x = base + rng.normal(scale=0.1, size=m)
+    y = np.roll(base, 5) + rng.normal(scale=0.1, size=m)
+    with_table = KSGEstimator(k=4, use_digamma_table=True)
+    without_table = KSGEstimator(k=4, use_digamma_table=False)
+    if with_table.mi(x, y) != without_table.mi(x, y):
+        raise AssertionError("digamma table changed an MI estimate")
+    table = shared_digamma_table()
+    counts = rng.integers(1, 2000, size=m)
+    if not np.array_equal(table.values(counts), digamma_direct(counts)):
+        raise AssertionError("digamma table diverged from scipy evaluations")
+    calls = 200
+    out["digamma_table"] = _kernel_row(
+        samples=m,
+        calls=calls,
+        seconds_on=_timed_loop(repeats, calls, lambda: table.values(counts)),
+        seconds_off=_timed_loop(repeats, calls, lambda: digamma_direct(counts)),
+    )
+
+    # -- presorted marginal projections vs a per-call sort -------------- #
+    # The cached path's unit of work: marginal_counts with a maintained /
+    # amortized sorted projection skips its internal O(m log m) sort.
+    # (The engine-level wiring -- MarginalIndex under churn -- is covered
+    # by exact-equality tests; the timing story lives in this kernel.)
+    m_marg = 2048
+    values = np.cumsum(rng.normal(size=m_marg))
+    radii = np.abs(rng.normal(scale=0.3, size=m_marg)) + 1e-3
+    presorted = np.sort(values)
+    if not np.array_equal(
+        marginal_counts(values, radii, strict=False, presorted=presorted),
+        marginal_counts(values, radii, strict=False),
+    ):
+        raise AssertionError("presorted marginal counts diverged from the sort path")
+    calls = 200
+    out["sorted_marginals"] = _kernel_row(
+        samples=m_marg,
+        calls=calls,
+        seconds_on=_timed_loop(
+            repeats,
+            calls,
+            lambda: marginal_counts(values, radii, strict=False, presorted=presorted),
+        ),
+        seconds_off=_timed_loop(
+            repeats, calls, lambda: marginal_counts(values, radii, strict=False)
+        ),
+    )
+
+    # -- shared distance workspace vs per-window brute force ------------ #
+    union = 200
+    window = 64
+    ux = np.cumsum(rng.normal(size=union))
+    uy = np.roll(ux, 2) + rng.normal(scale=0.1, size=union)
+    workspace = PairDistanceWorkspace(ux, uy)
+    offsets = list(range(0, union - window, 4))
+    for offset in offsets:
+        served = workspace.knn(offset, window, 4)
+        direct = chebyshev_knn_bruteforce(
+            ux[offset : offset + window], uy[offset : offset + window], 4
+        )
+        if not (
+            np.array_equal(served.kth_distance, direct.kth_distance)
+            and np.array_equal(served.eps_x, direct.eps_x)
+            and np.array_equal(served.eps_y, direct.eps_y)
+            and np.array_equal(served.indices, direct.indices)
+        ):
+            raise AssertionError("workspace knn diverged from brute force")
+
+    def serve_all() -> None:
+        for offset in offsets:
+            workspace.knn(offset, window, 4)
+
+    def brute_all() -> None:
+        for offset in offsets:
+            chebyshev_knn_bruteforce(
+                ux[offset : offset + window], uy[offset : offset + window], 4
+            )
+
+    out["workspace"] = _kernel_row(
+        samples=window,
+        calls=len(offsets),
+        seconds_on=best_of(repeats, serve_all),
+        seconds_off=best_of(repeats, brute_all),
+    )
+    return out
+
+
+def _kernel_row(samples: int, calls: int, seconds_on: float, seconds_off: float) -> Dict[str, Any]:
+    return {
+        "samples": samples,
+        "calls": calls,
+        "seconds_cached": round(seconds_on, 5),
+        "seconds_reference": round(seconds_off, 5),
+        "speedup": round(seconds_off / seconds_on, 3),
+        "identical": True,  # asserted before timing
+    }
+
+
 def bench_scoring(length: int, config: TycosConfig, repeats: int, seed: int) -> Dict[str, Any]:
-    rng = np.random.default_rng(seed)
-    base = np.cumsum(rng.normal(size=length))
-    x = base + rng.normal(scale=0.1, size=length)
-    y = np.roll(base, 7) + rng.normal(scale=0.1, size=length)
+    x, y = make_scoring_pair(length, seed)
     out: Dict[str, Any] = {"series_length": length}
-    results: Dict[bool, Any] = {}
-    timings: Dict[bool, float] = {}
-    for batched in (False, True):
-        engine = Tycos(config, batched_scoring=batched)
+    reference: Optional[Any] = None
+    baseline_seconds: Optional[float] = None
+    for label, batched, overrides in _SCORING_VARIANTS:
+        variant_config = config.scaled(**overrides) if overrides else config
         box: List[Any] = []
 
         def run() -> None:
-            box.append(engine.search(x, y))
+            box.append(Tycos(variant_config, batched_scoring=batched).search(x, y))
 
-        timings[batched] = best_of(repeats, run)
-        results[batched] = box[-1]
-    if [r.window for r in results[False].windows] != [r.window for r in results[True].windows]:
-        raise AssertionError("batched search returned different windows than scalar")
-    for batched in (False, True):
-        stats = results[batched].stats
-        seconds = timings[batched]
-        key = "batched" if batched else "scalar"
-        out[key] = {
+        seconds = best_of(repeats, run)
+        result = box[-1]
+        snapshot = [(r.window, r.mi, r.nmi) for r in result.windows]
+        if reference is None:
+            reference = snapshot
+            baseline_seconds = seconds
+        elif snapshot != reference:
+            raise AssertionError(f"scoring ablation {label!r} changed the search result")
+        stats = result.stats
+        row: Dict[str, Any] = {
             "seconds": round(seconds, 4),
             "windows_evaluated": stats.windows_evaluated,
             "windows_per_second": round(stats.windows_evaluated / seconds, 1),
         }
-    out["batched"]["speedup_vs_scalar"] = round(timings[False] / timings[True], 3)
+        if batched:
+            row["workspace_builds"] = stats.workspace_builds
+            row["workspace_hits"] = stats.workspace_hits
+        if label != "scalar_baseline" and baseline_seconds is not None:
+            row["speedup_vs_scalar_baseline"] = round(baseline_seconds / seconds, 3)
+        out[label] = row
     return out
+
+
+def check_regression(
+    document: Dict[str, Any], baseline_path: str, max_regression: float
+) -> Optional[str]:
+    """Compare this run's gate throughput against a committed document.
+
+    Returns an error message when the gate regressed by more than
+    ``max_regression`` (a fraction), or None when it passed.
+    """
+    try:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return f"cannot read baseline {baseline_path}: {exc}"
+    ref = baseline.get("gate", {}).get("windows_per_second")
+    if not ref:
+        return f"baseline {baseline_path} has no gate.windows_per_second"
+    current = document["gate"]["windows_per_second"]
+    floor = ref * (1.0 - max_regression)
+    if current < floor:
+        return (
+            f"scalar-path gate regressed: {current:.1f} windows/s vs baseline "
+            f"{ref:.1f} (floor {floor:.1f} at {max_regression:.0%} tolerance)"
+        )
+    return None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -160,11 +386,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats, best-of (default: 3, smoke: 1)")
     parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--check-against", default=None, metavar="PATH",
+                        help="committed benchmark JSON to compare the gate row against")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="fail when the gate windows/s drops more than this "
+                             "fraction below the baseline (default 0.30)")
     args = parser.parse_args(argv)
 
     repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
     if repeats < 1:
         parser.error(f"--repeats must be >= 1, got {repeats}")
+    if not 0.0 <= args.max_regression < 1.0:
+        parser.error(f"--max-regression must be in [0, 1), got {args.max_regression}")
     if args.smoke:
         n_series, length, jobs = 4, 240, [1, 2]
         scoring_length = 400
@@ -192,14 +425,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             "repeats": repeats,
         },
         "pairwise": bench_pairwise(n_series, length, config, jobs, repeats, args.seed),
+        "gate": bench_gate(args.seed),
+        "kernel": bench_kernel(repeats),
         "scoring": bench_scoring(scoring_length, config, repeats, args.seed + 1),
         "notes": (
             "Timings are best-of-repeats wall clock.  Multi-worker speedup "
             "scales with host cores (see host.cpu_count); on a single-core "
             "host the n_jobs>1 rows measure process-pool overhead.  The "
-            "scoring speedup is core-count independent: it comes from the "
-            "batched neighborhood kernel, which shares one distance "
-            "workspace across a delta-ring instead of rebuilding per window."
+            "scoring ablations are exact: every row reproduces the same "
+            "windows and MI floats, so the deltas are pure kernel cost.  "
+            "The gate row is the same workload in smoke and full mode and "
+            "feeds the --check-against regression comparison."
         ),
     }
 
@@ -208,6 +444,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.output is not None:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
+    if args.check_against is not None:
+        error = check_regression(document, args.check_against, args.max_regression)
+        if error is not None:
+            print(f"REGRESSION: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"regression check passed against {args.check_against} "
+            f"(tolerance {args.max_regression:.0%})",
+            file=sys.stderr,
+        )
     return 0
 
 

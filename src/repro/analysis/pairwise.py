@@ -202,8 +202,12 @@ def scan_pairs(
         n_jobs: worker processes.  ``None`` or ``1`` scans serially in this
             process; ``-1`` uses every available core; ``N > 1`` fans the
             pairs over a process pool (see :mod:`repro.analysis.parallel`).
-            Results are merged in submission order, so the report is
-            identical for every worker count.
+            The effective worker count is clamped to the number of pairs,
+            so small scans never pay pool spin-up for idle workers; asking
+            for more workers than cores is overhead-only (see
+            :func:`repro.analysis.parallel.resolve_n_jobs`).  Results are
+            merged in submission order, so the report is identical for
+            every worker count.
 
     Returns:
         A :class:`PairwiseReport` with one finding per scanned pair.  A

@@ -52,6 +52,13 @@ def resolve_n_jobs(n_jobs: int) -> int:
     """Map an ``n_jobs`` request to a concrete worker count.
 
     ``-1`` means every available core; any other value must be >= 1.
+
+    Note that requesting more workers than physical cores is pure
+    overhead: each extra process pays interpreter spin-up, engine
+    unpickling and scheduler churn without adding CPU time (the
+    ``BENCH_PR2.json`` n_jobs=4 row on a 1-core host ran *slower* than
+    serial for exactly this reason).  Callers that know their task count
+    should additionally clamp to it, as :func:`scan_pairs_parallel` does.
     """
     if n_jobs == -1:
         return max(1, os.cpu_count() or 1)
@@ -229,7 +236,9 @@ def scan_pairs_parallel(
         if source not in series or target not in series:
             raise KeyError(f"unknown series in pair ({source!r}, {target!r})")
 
-    workers = resolve_n_jobs(n_jobs)
+    # Never spawn more workers than there are pairs: idle workers still
+    # pay pool spin-up and engine unpickling, which dominates small scans.
+    workers = min(resolve_n_jobs(n_jobs), max(1, len(pair_list)))
     if workers == 1 or not pair_list:
         from repro.analysis.pairwise import scan_pairs
 

@@ -48,6 +48,28 @@ class TycosConfig:
             memo table.  The table is an LRU: long multi-restart searches
             revisit mostly *recent* windows, so a generous cap keeps the
             hit rate intact while bounding memory on big inputs.
+        use_digamma_table: serve every digamma evaluation in the KSG kernel
+            from the process-wide lookup table
+            (:func:`repro.mi.digamma.shared_digamma_table`).  Table entries
+            are exact scipy evaluations, so results are bit-identical either
+            way; the switch exists so benchmarks can measure the table
+            against direct scipy calls.  Memory: one float64 per integer
+            ever seen (rounded up to a power of two), shared process-wide.
+        use_sorted_marginals: reuse presorted marginal projections for
+            KSG marginal counts -- the workspace's cached union argsort in
+            batched scoring, the incrementally maintained
+            :class:`repro.mi.neighbors.MarginalIndex` in the sliding engine
+            (Lemmas 5/6) -- instead of re-sorting both axes per estimate.
+            Counts are exactly equal either way.  Memory: two sorted
+            float64 copies of each live union span / engine window.
+        workspace_cache_size: number of per-delay
+            :class:`repro.mi.neighbors.PairDistanceWorkspace` entries a
+            batched scorer keeps in its LRU, so LAHC iterations revisiting
+            a delay reuse the O(u^2) distance broadcasts instead of
+            rebuilding them.  0 disables the cache (a workspace is still
+            built per cluster, as before).  Memory per entry is
+            O(u^2) float64 for the cached span, so the bound matters on
+            big inputs; 8 covers a typical LAHC delay trajectory.
         init_delay_step: stride of the coarse delay grid probed when
             choosing an initial window (default ``max(1, s_min // 2)``).
             Algorithm 1 seeds the search at delay 0 only, but the MI
@@ -73,6 +95,9 @@ class TycosConfig:
     seed: int = 0
     significance_permutations: int = 0
     cache_capacity: int = 100_000
+    use_digamma_table: bool = True
+    use_sorted_marginals: bool = True
+    workspace_cache_size: int = 8
     init_delay_step: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -107,6 +132,10 @@ class TycosConfig:
             raise ValueError(f"jitter must be >= 0, got {self.jitter}")
         if self.cache_capacity < 1:
             raise ValueError(f"cache_capacity must be >= 1, got {self.cache_capacity}")
+        if self.workspace_cache_size < 0:
+            raise ValueError(
+                f"workspace_cache_size must be >= 0, got {self.workspace_cache_size}"
+            )
 
     @property
     def epsilon(self) -> float:

@@ -14,6 +14,7 @@ whole exploration directions once their extension is identified as noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import product
 from typing import FrozenSet, Iterator, List, Tuple
 
@@ -35,6 +36,22 @@ class Neighbor:
 
 def _sign(v: int) -> int:
     return (v > 0) - (v < 0)
+
+
+@lru_cache(maxsize=None)
+def _shell(radius: int) -> Tuple[Tuple[int, int, int, Direction], ...]:
+    """The (ds, de, dt, direction) offsets of the radius-r Chebyshev shell.
+
+    The shell depends only on ``radius`` (26 entries for r=1, 98 for r=2,
+    ...), so it is enumerated once and reused by every ``neighborhood``
+    call, in the same ``itertools.product`` order.
+    """
+    steps = range(-radius, radius + 1)
+    return tuple(
+        (ds, de, dt, (_sign(ds), _sign(de), _sign(dt)))
+        for ds, de, dt in product(steps, steps, steps)
+        if max(abs(ds), abs(de), abs(dt)) == radius
+    )
 
 
 def neighborhood(
@@ -69,28 +86,39 @@ def neighborhood(
     """
     if radius < 1:
         raise ValueError(f"radius must be >= 1, got {radius}")
-    steps = range(-radius, radius + 1)
     out: List[Neighbor] = []
-    for ds, de, dt in product(steps, steps, steps):
-        if max(abs(ds), abs(de), abs(dt)) != radius:
+    w_start, w_end, w_delay = window.start, window.end, window.delay
+    for ds, de, dt, direction in _shell(radius):
+        if blocked and _is_blocked(direction, blocked):
             continue
-        direction = (_sign(ds), _sign(de), _sign(dt))
-        if _is_blocked(direction, blocked):
-            continue
-        start = window.start + ds * delta
-        end = window.end + de * delta
-        delay = window.delay + dt * delta
-        if start < 0 or end < start:
+        start = w_start + ds * delta
+        end = w_end + de * delta
+        delay = w_delay + dt * delta
+        # Feasibility (TimeDelayWindow.is_feasible) checked on plain ints
+        # first, so only the feasible neighbors pay window construction.
+        if (
+            start < 0
+            or end >= n
+            or not s_min <= end - start + 1 <= s_max
+            or abs(delay) > td_max
+            or start + delay < 0
+            or end + delay >= n
+        ):
             continue
         cand = TimeDelayWindow(start=start, end=end, delay=delay)
-        if cand.is_feasible(n, s_min, s_max, td_max):
-            out.append(Neighbor(window=cand, direction=direction))
+        out.append(Neighbor(window=cand, direction=direction))
     return out
 
 
+@lru_cache(maxsize=4096)
 def _is_blocked(direction: Direction, blocked: FrozenSet[Direction]) -> bool:
     """A direction is blocked when it moves the same way as a blocked one
-    on every axis the blocked direction constrains."""
+    on every axis the blocked direction constrains.
+
+    Memoized: there are only 27 directions and a handful of distinct
+    blocked sets per search, but the test runs for every candidate of
+    every ring.
+    """
     for b in blocked:
         if all(bb == 0 or dd == bb for bb, dd in zip(b, direction)):
             if any(bb != 0 for bb in b):

@@ -63,6 +63,10 @@ class SearchStats:
             (incremental variants only).
         mi_incremental_updates: constant-time neighbor-set updates
             (incremental variants only).
+        workspace_builds: shared distance workspaces constructed for
+            batched same-delay clusters (batched scoring only).
+        workspace_hits: clusters served from the per-delay workspace LRU
+            (``TycosConfig.workspace_cache_size``).
         runtime_seconds: wall-clock time of the search.
     """
 
@@ -74,6 +78,8 @@ class SearchStats:
     noise_prunes: int = 0
     mi_full_searches: int = 0
     mi_incremental_updates: int = 0
+    workspace_builds: int = 0
+    workspace_hits: int = 0
     runtime_seconds: float = 0.0
 
 
@@ -172,6 +178,8 @@ class Tycos:
 
         stats.windows_evaluated = scorer.evaluations
         stats.cache_hits = scorer.cache_hits
+        stats.workspace_builds = scorer.workspace_builds
+        stats.workspace_hits = scorer.workspace_hits
         if detector is not None:
             stats.noise_prunes = detector.prunes
         if isinstance(scorer, IncrementalScorer):
@@ -208,6 +216,8 @@ class Tycos:
 
         stats.windows_evaluated = scorer.evaluations
         stats.cache_hits = scorer.cache_hits
+        stats.workspace_builds = scorer.workspace_builds
+        stats.workspace_hits = scorer.workspace_hits
         if detector is not None:
             stats.noise_prunes = detector.prunes
         if isinstance(scorer, IncrementalScorer):

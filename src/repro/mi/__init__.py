@@ -16,12 +16,15 @@ quantify statistical dependence between two windows of time series data:
   verification helpers for the noise theorem (Theorem 6.1).
 * :mod:`repro.mi.incremental` -- the Section 7 incremental KSG engine based
   on influenced regions (IR) and influenced marginal regions (IMR).
+* :mod:`repro.mi.digamma` -- the process-wide integer digamma lookup table
+  every estimator draws from (the only sanctioned scipy digamma call site).
 * :mod:`repro.mi.kdtree` -- the k-d tree neighbor backend the paper's
   Lemma-2 analysis invokes (Bentley 1975).
 * :mod:`repro.mi.histogram` / :mod:`repro.mi.kde` -- the classical MI
   estimators the paper's Section 3.1 compares KSG against.
 """
 
+from repro.mi.digamma import DigammaTable, digamma_direct, shared_digamma_table
 from repro.mi.discrete import discrete_entropy_from_joint, discrete_mi, empirical_joint
 from repro.mi.entropy import binned_joint_entropy, discrete_entropy, kl_entropy
 from repro.mi.histogram import histogram_mi
@@ -32,6 +35,7 @@ from repro.mi.ksg import KSGEstimator, ksg_mi
 from repro.mi.mixture import mix_samples, theorem61_gap
 from repro.mi.neighbors import (
     GridIndex,
+    MarginalIndex,
     PairDistanceWorkspace,
     chebyshev_knn_bruteforce,
     chebyshev_knn_grid,
@@ -42,6 +46,10 @@ from repro.mi.normalized import normalized_mi
 __all__ = [
     "KSGEstimator",
     "ksg_mi",
+    "DigammaTable",
+    "digamma_direct",
+    "shared_digamma_table",
+    "MarginalIndex",
     "histogram_mi",
     "kde_mi",
     "SlidingKSG",

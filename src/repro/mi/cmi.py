@@ -19,9 +19,9 @@ style direction analysis on top of extracted windows.
 from __future__ import annotations
 
 import numpy as np
-from scipy.special import digamma
 
 from repro._types import AnyArray, FloatArray, IntArray
+from repro.mi.digamma import shared_digamma_table
 
 __all__ = ["ksg_cmi", "transfer_entropy"]
 
@@ -75,8 +75,9 @@ def ksg_cmi(
     n_xz = _marginal_count_nd(xz, radius)
     n_yz = _marginal_count_nd(yz, radius)
     n_z = _marginal_count_nd(z, radius)
-    value = digamma(k) - float(
-        np.mean(digamma(n_xz + 1) + digamma(n_yz + 1) - digamma(n_z + 1))
+    table = shared_digamma_table()
+    value = table.value(k) - float(
+        np.mean(table.values(n_xz + 1) + table.values(n_yz + 1) - table.values(n_z + 1))
     )
     return float(value)
 

@@ -13,10 +13,16 @@ insertions/removals using the paper's *influenced region* (IR) and
 * Lemma 4 -- a removed point changes ``p``'s k-NN set iff it was inside
   ``p``'s IR; only then is a fresh neighbor search for ``p`` required.
 * Lemmas 5/6 -- marginal counts change only inside the IMRs.  We exploit
-  this in aggregate: marginal counts are recounted with two binary searches
-  per point over sorted projections at query time, which is O(m log m) --
-  asymptotically the same as recounting only the touched strips, without
-  the per-strip bookkeeping.
+  this through a :class:`repro.mi.neighbors.MarginalIndex` per axis: the
+  sorted projections are maintained incrementally (one binary search plus
+  one memmove per point move), so the query-time marginal recount is two
+  binary searches per point over *already sorted* arrays -- the per-call
+  ``O(m log m)`` sort disappears.
+
+Neighbor records live in one structured numpy table indexed by point
+position (fields ``dist``/``dx``/``dy``/``id``), so bulk loads, Lemma-3
+displacements and the evictee/extent updates are vectorized gathers and
+reductions instead of per-point Python tuple juggling.
 
 The net effect matches the paper's TYCOS_LM: per delta-step window move the
 dominant O(m^2) neighbor search collapses to O((delta + a) * m) where ``a``
@@ -34,13 +40,16 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 import numpy as np
 
 from repro import contracts
+from repro.mi.digamma import shared_digamma_table
 from repro.mi.ksg import KSGEstimator
-from repro.mi.neighbors import KnnResult, chebyshev_knn_bruteforce
+from repro.mi.neighbors import KnnResult, MarginalIndex
 
 __all__ = ["SlidingKSG"]
 
-# Neighbor record layout: (chebyshev distance, |dx|, |dy|, neighbor id).
-_Neighbor = Tuple[float, float, float, int]
+# Columnar neighbor record: Chebyshev distance, |dx|, |dy|, neighbor id.
+_NEIGHBOR_DTYPE = np.dtype(
+    [("dist", np.float64), ("dx", np.float64), ("dy", np.float64), ("id", np.int64)]
+)
 
 
 class SlidingKSG:
@@ -58,6 +67,14 @@ class SlidingKSG:
         eng.remove(0)                 # ... and shrink it at the front
         eng.mi()                      # updated estimate, no full recompute
 
+    Args:
+        k: number of nearest neighbors.
+        algorithm: KSG variant (2 is the paper's Eq. 2).
+        use_digamma_table: serve digamma from the shared process-wide
+            table (exact scipy values; off only for benchmark ablations).
+        use_sorted_marginals: maintain sorted x/y projections incrementally
+            (Lemmas 5/6) instead of re-sorting both on every :meth:`mi`.
+
     Attributes:
         full_searches: number of from-scratch k-NN searches performed
             (bulk loads count one per point).
@@ -65,10 +82,22 @@ class SlidingKSG:
             replacements triggered by Lemma 3.
     """
 
-    def __init__(self, k: int = 4, algorithm: int = 2) -> None:
-        self._estimator = KSGEstimator(k=k, algorithm=algorithm, backend="bruteforce")
+    def __init__(
+        self,
+        k: int = 4,
+        algorithm: int = 2,
+        use_digamma_table: bool = True,
+        use_sorted_marginals: bool = True,
+    ) -> None:
+        self._estimator = KSGEstimator(
+            k=k,
+            algorithm=algorithm,
+            backend="bruteforce",
+            use_digamma_table=use_digamma_table,
+        )
         self.k = k
         self.algorithm = algorithm
+        self._use_digamma_table = use_digamma_table
         # Parallel position-indexed storage (swap-pop on removal), backed
         # by preallocated numpy buffers so adds/removes never rebuild
         # arrays from Python lists.
@@ -77,14 +106,23 @@ class SlidingKSG:
         self._buf_x = np.empty(64)
         self._buf_y = np.empty(64)
         # Positional caches of each point's neighbor geometry, maintained
-        # alongside the neighbor sets so mi() is pure vectorized work.
+        # alongside the neighbor table so mi() is pure vectorized work.
         self._buf_kth = np.empty(64)
         self._buf_epsx = np.empty(64)
         self._buf_epsy = np.empty(64)
+        # Structured neighbor table: row i holds point i's k neighbor
+        # records.  Rows are only meaningful while not _needs_rebuild.
+        self._nb = np.empty((64, k), dtype=_NEIGHBOR_DTYPE)
         self._pos: Dict[int, int] = {}
-        # Neighbor sets per id and the reverse adjacency (who lists me).
-        self._neighbors: Dict[int, List[_Neighbor]] = {}
+        # Reverse adjacency: id -> ids of points listing it as a neighbor.
         self._reverse: Dict[int, Set[int]] = {}
+        # Incrementally maintained sorted projections (Lemmas 5/6).
+        self._marginal_x: Optional[MarginalIndex] = (
+            MarginalIndex() if use_sorted_marginals else None
+        )
+        self._marginal_y: Optional[MarginalIndex] = (
+            MarginalIndex() if use_sorted_marginals else None
+        )
         self._needs_rebuild = True
         self.full_searches = 0
         self.incremental_updates = 0
@@ -100,6 +138,9 @@ class SlidingKSG:
             grown = np.empty(capacity)
             grown[: old.size] = old
             setattr(self, name, grown)
+        grown_nb = np.empty((capacity, self.k), dtype=_NEIGHBOR_DTYPE)
+        grown_nb[: self._nb.shape[0]] = self._nb
+        self._nb = grown_nb
 
     # ------------------------------------------------------------------ #
     # basic container protocol
@@ -143,8 +184,10 @@ class SlidingKSG:
         self._buf_epsx[: self._size] = 0.0
         self._buf_epsy[: self._size] = 0.0
         self._pos = {pid: i for i, pid in enumerate(id_list)}
-        self._neighbors = {}
         self._reverse = {pid: set() for pid in id_list}
+        if self._marginal_x is not None and self._marginal_y is not None:
+            self._marginal_x.reset(self._buf_x[: self._size])
+            self._marginal_y.reset(self._buf_y[: self._size])
         self._needs_rebuild = True
         self._maybe_rebuild()
 
@@ -163,35 +206,48 @@ class SlidingKSG:
             dist = np.maximum(dx, dy)
             # New point's own neighbor set: k best among existing points.
             order = np.argpartition(dist, self.k - 1)[: self.k]
-            new_set: List[_Neighbor] = [
-                (float(dist[j]), float(dx[j]), float(dy[j]), self._ids[j]) for j in order
-            ]
             self.full_searches += 1
             # Lemma 3: the new point displaces the current k-th neighbor of
-            # every point whose IR it falls into.
+            # every point whose IR it falls into.  The displacement -- find
+            # the worst record, replace it, refresh the cached extents --
+            # is one batched gather/reduce over all affected rows.
             affected = np.nonzero(dist < self._buf_kth[:m_before])[0]
-            for j in affected:
-                pid = self._ids[j]
-                nb = self._neighbors[pid]
-                worst = max(range(len(nb)), key=lambda t: nb[t][0])
-                evicted = nb[worst][3]
-                self._reverse[evicted].discard(pid)
-                nb[worst] = (float(dist[j]), float(dx[j]), float(dy[j]), point_id)
-                self._reverse.setdefault(point_id, set()).add(pid)
-                self._buf_kth[j] = max(t[0] for t in nb)
-                self._buf_epsx[j] = max(t[1] for t in nb)
-                self._buf_epsy[j] = max(t[2] for t in nb)
-                self.incremental_updates += 1
-            self._neighbors[point_id] = new_set
+            if affected.size:
+                nb_dist = self._nb["dist"]
+                nb_dx = self._nb["dx"]
+                nb_dy = self._nb["dy"]
+                nb_id = self._nb["id"]
+                worst = np.argmax(nb_dist[affected], axis=1)
+                evicted = nb_id[affected, worst]
+                new_dependents = self._reverse.setdefault(point_id, set())
+                for j, evictee in zip(affected, evicted):
+                    pid = self._ids[j]
+                    self._reverse[int(evictee)].discard(pid)
+                    new_dependents.add(pid)
+                nb_dist[affected, worst] = dist[affected]
+                nb_dx[affected, worst] = dx[affected]
+                nb_dy[affected, worst] = dy[affected]
+                nb_id[affected, worst] = point_id
+                self._buf_kth[affected] = nb_dist[affected].max(axis=1)
+                self._buf_epsx[affected] = nb_dx[affected].max(axis=1)
+                self._buf_epsy[affected] = nb_dy[affected].max(axis=1)
+                self.incremental_updates += int(affected.size)
             self._reverse.setdefault(point_id, set())
-            for t in new_set:
-                self._reverse[t[3]].add(point_id)
-            new_kth = max(t[0] for t in new_set)
-            new_epsx = max(t[1] for t in new_set)
-            new_epsy = max(t[2] for t in new_set)
+            new_ids = np.empty(self.k, dtype=np.int64)
+            for slot, j in enumerate(order):
+                neighbor_id = self._ids[j]
+                new_ids[slot] = neighbor_id
+                self._reverse[neighbor_id].add(point_id)
+            new_dist = dist[order]
+            new_dx = dx[order]
+            new_dy = dy[order]
+            new_kth = float(new_dist.max())
+            new_epsx = float(new_dx.max())
+            new_epsy = float(new_dy.max())
         else:
             self._needs_rebuild = True
             self._reverse.setdefault(point_id, set())
+            new_dist = new_dx = new_dy = new_ids = None
             new_kth = new_epsx = new_epsy = 0.0
         pos = self._size
         self._ensure_capacity(pos + 1)
@@ -202,7 +258,16 @@ class SlidingKSG:
         self._buf_kth[pos] = new_kth
         self._buf_epsx[pos] = new_epsx
         self._buf_epsy[pos] = new_epsy
+        if new_dist is not None:
+            row = self._nb[pos]
+            row["dist"] = new_dist
+            row["dx"] = new_dx
+            row["dy"] = new_dy
+            row["id"] = new_ids
         self._size += 1
+        if self._marginal_x is not None and self._marginal_y is not None:
+            self._marginal_x.add(x)
+            self._marginal_y.add(y)
         self._maybe_rebuild()
 
     def remove(self, point_id: int) -> None:
@@ -210,6 +275,11 @@ class SlidingKSG:
         if point_id not in self._pos:
             raise KeyError(f"point id {point_id} not present")
         pos = self._pos.pop(point_id)
+        removed_x = float(self._buf_x[pos])
+        removed_y = float(self._buf_y[pos])
+        removed_neighbor_ids: Optional[np.ndarray] = None
+        if not self._needs_rebuild:
+            removed_neighbor_ids = self._nb["id"][pos].copy()
         last = self._size - 1
         if pos != last:
             self._ids[pos] = self._ids[last]
@@ -218,15 +288,18 @@ class SlidingKSG:
             self._buf_kth[pos] = self._buf_kth[last]
             self._buf_epsx[pos] = self._buf_epsx[last]
             self._buf_epsy[pos] = self._buf_epsy[last]
+            self._nb[pos] = self._nb[last]
             self._pos[self._ids[pos]] = pos
         self._ids.pop()
         self._size -= 1
+        if self._marginal_x is not None and self._marginal_y is not None:
+            self._marginal_x.remove(removed_x)
+            self._marginal_y.remove(removed_y)
 
         dependents = self._reverse.pop(point_id, set())
-        removed_set = self._neighbors.pop(point_id, None)
-        if removed_set is not None:
-            for t in removed_set:
-                rev = self._reverse.get(t[3])
+        if removed_neighbor_ids is not None:
+            for neighbor_id in removed_neighbor_ids:
+                rev = self._reverse.get(int(neighbor_id))
                 if rev is not None:
                     rev.discard(point_id)
 
@@ -236,7 +309,6 @@ class SlidingKSG:
         if len(self._ids) <= self.k:
             # Too few points to hold k-neighbor sets; rebuild lazily later.
             self._needs_rebuild = True
-            self._neighbors = {}
             self._reverse = {pid: set() for pid in self._ids}
             return
         for pid in dependents:
@@ -264,7 +336,20 @@ class SlidingKSG:
             eps_y=self._buf_epsy[:m],
             indices=np.empty((m, 0), dtype=np.int64),
         )
-        value = self._estimator.mi_from_geometry(x, y, geometry, self.k)
+        table = shared_digamma_table().prefix(m) if self._use_digamma_table else None
+        sorted_x = sorted_y = None
+        if self._marginal_x is not None and self._marginal_y is not None:
+            sorted_x = self._marginal_x.sorted_values()
+            sorted_y = self._marginal_y.sorted_values()
+        value = self._estimator.mi_from_geometry(
+            x,
+            y,
+            geometry,
+            self.k,
+            digamma_table=table,
+            sorted_x=sorted_x,
+            sorted_y=sorted_y,
+        )
         if contracts.checks_enabled():
             contracts.check_mi_finite(value, where="SlidingKSG.mi")
         return value
@@ -272,7 +357,9 @@ class SlidingKSG:
     def neighbor_ids(self, point_id: int) -> Tuple[int, ...]:
         """Ids of ``point_id``'s current k nearest neighbors (for tests)."""
         self._maybe_rebuild()
-        return tuple(t[3] for t in self._neighbors[point_id])
+        if self._needs_rebuild or point_id not in self._pos:
+            raise KeyError(point_id)
+        return tuple(int(i) for i in self._nb["id"][self._pos[point_id]])
 
     # ------------------------------------------------------------------ #
     # internals
@@ -280,25 +367,33 @@ class SlidingKSG:
     def _maybe_rebuild(self) -> None:
         if not self._needs_rebuild or self._size <= self.k:
             return
-        x = self._buf_x[: self._size]
-        y = self._buf_y[: self._size]
-        knn = chebyshev_knn_bruteforce(x, y, self.k)
-        self._neighbors = {}
-        self._reverse = {pid: set() for pid in self._ids}
+        m = self._size
+        x = self._buf_x[:m]
+        y = self._buf_y[:m]
+        # Same kernel as chebyshev_knn_bruteforce, inlined so the dx/dy
+        # broadcasts feed the neighbor-table gathers instead of being
+        # recomputed (identical values, identical argpartition ties).
         dx = np.abs(x[:, None] - x[None, :])
         dy = np.abs(y[:, None] - y[None, :])
-        self._buf_kth[: self._size] = knn.kth_distance
-        self._buf_epsx[: self._size] = knn.eps_x
-        self._buf_epsy[: self._size] = knn.eps_y
+        dist = np.maximum(dx, dy)
+        np.fill_diagonal(dist, np.inf)
+        idx = np.argpartition(dist, self.k - 1, axis=1)[:, : self.k]
+        rows = np.arange(m)[:, None]
+        nb = self._nb[:m]
+        nb["dist"] = dist[rows, idx]
+        nb["dx"] = dx[rows, idx]
+        nb["dy"] = dy[rows, idx]
+        ids_arr = np.asarray(self._ids, dtype=np.int64)
+        nb["id"] = ids_arr[idx]
+        self._buf_kth[:m] = nb["dist"].max(axis=1)
+        self._buf_epsx[:m] = nb["dx"].max(axis=1)
+        self._buf_epsy[:m] = nb["dy"].max(axis=1)
+        self._reverse = {pid: set() for pid in self._ids}
+        neighbor_id_rows = nb["id"]
         for i, pid in enumerate(self._ids):
-            entries: List[_Neighbor] = []
-            for j in knn.indices[i]:
-                entries.append(
-                    (float(max(dx[i, j], dy[i, j])), float(dx[i, j]), float(dy[i, j]), self._ids[j])
-                )
-                self._reverse[self._ids[j]].add(pid)
-            self._neighbors[pid] = entries
-        self.full_searches += len(self._ids)
+            for neighbor_id in neighbor_id_rows[i]:
+                self._reverse[int(neighbor_id)].add(pid)
+        self.full_searches += m
         self._needs_rebuild = False
 
     def _research_point(self, point_id: int) -> None:
@@ -311,18 +406,19 @@ class SlidingKSG:
         dist = np.maximum(dx, dy)
         dist[pos] = np.inf
         order = np.argpartition(dist, self.k - 1)[: self.k]
-        old = self._neighbors.get(point_id, [])
-        for t in old:
-            rev = self._reverse.get(t[3])
+        for neighbor_id in self._nb["id"][pos]:
+            rev = self._reverse.get(int(neighbor_id))
             if rev is not None:
                 rev.discard(point_id)
-        entries: List[_Neighbor] = []
-        for j in order:
-            nid = self._ids[j]
-            entries.append((float(dist[j]), float(dx[j]), float(dy[j]), nid))
-            self._reverse[nid].add(point_id)
-        self._neighbors[point_id] = entries
-        self._buf_kth[pos] = max(t[0] for t in entries)
-        self._buf_epsx[pos] = max(t[1] for t in entries)
-        self._buf_epsy[pos] = max(t[2] for t in entries)
+        row = self._nb[pos]
+        row["dist"] = dist[order]
+        row["dx"] = dx[order]
+        row["dy"] = dy[order]
+        for slot, j in enumerate(order):
+            neighbor_id = self._ids[j]
+            row["id"][slot] = neighbor_id
+            self._reverse[neighbor_id].add(point_id)
+        self._buf_kth[pos] = float(dist[order].max())
+        self._buf_epsx[pos] = float(dx[order].max())
+        self._buf_epsy[pos] = float(dy[order].max())
         self.full_searches += 1

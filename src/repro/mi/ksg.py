@@ -24,10 +24,10 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
-from scipy.special import digamma
 
 from repro import contracts
-from repro._types import AnyArray, FloatArray, IntArray
+from repro._types import AnyArray, FloatArray
+from repro.mi.digamma import digamma_direct, shared_digamma_table
 from repro.mi.neighbors import (
     KnnResult,
     chebyshev_knn_bruteforce,
@@ -53,11 +53,17 @@ class KSGEstimator:
         backend: neighbor search backend, one of ``"bruteforce"``, ``"grid"``,
             ``"kdtree"`` or ``"auto"`` (size-based choice between the first
             two; the k-d tree is opt-in, best under heavy clustering).
+        use_digamma_table: serve digamma evaluations from the process-wide
+            :func:`repro.mi.digamma.shared_digamma_table` instead of calling
+            scipy per estimate.  Table entries are exact scipy evaluations,
+            so this never changes an estimate; the switch exists only so
+            benchmarks can measure the table against direct calls.
     """
 
     k: int = 4
     algorithm: int = 2
     backend: str = "auto"
+    use_digamma_table: bool = True
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -122,6 +128,8 @@ class KSGEstimator:
         knn: KnnResult,
         k: int,
         digamma_table: Optional[FloatArray] = None,
+        sorted_x: Optional[FloatArray] = None,
+        sorted_y: Optional[FloatArray] = None,
     ) -> float:
         """Finish an MI estimate given precomputed k-NN geometry.
 
@@ -135,45 +143,56 @@ class KSGEstimator:
             knn: precomputed neighbor geometry for the window.
             k: neighbor count the geometry was built with.
             digamma_table: optional precomputed ``digamma(i)`` for
-                ``i = 1..len(table)`` (``table[i - 1] == digamma(i)``);
-                every digamma argument here is a positive integer ``<= m``,
-                so a caller evaluating many windows can share one table.
-                The table values are exact scipy evaluations, so supplying
-                it never changes the estimate.
+                ``i = 1..len(table)`` (``table[i - 1] == digamma(i)``,
+                length >= ``m``); every digamma argument here is a positive
+                integer ``<= m``, so a caller evaluating many windows can
+                share one table.  The table values are exact scipy
+                evaluations, so supplying it never changes the estimate.
+                When omitted, the process-wide shared table is used unless
+                ``use_digamma_table`` is off.
+            sorted_x: optional ascending float64 realization of exactly the
+                multiset of ``x`` (see :func:`marginal_counts` presorted);
+                skips the per-call marginal sort without changing counts.
+            sorted_y: same for ``y``.
         """
         m = x.size
-
-        def psi_int(values: IntArray) -> FloatArray:
-            if digamma_table is not None:
-                return np.asarray(digamma_table[values - 1], dtype=np.float64)
-            return np.asarray(digamma(values), dtype=np.float64)
-
-        def psi_scalar(value: int) -> float:
-            if digamma_table is not None:
-                return float(digamma_table[value - 1])
-            return float(digamma(value))
+        if digamma_table is None and self.use_digamma_table:
+            digamma_table = shared_digamma_table().prefix(m)
 
         if self.algorithm == 2:
-            n_x = marginal_counts(x, knn.eps_x, strict=False)
-            n_y = marginal_counts(y, knn.eps_y, strict=False)
+            n_x = marginal_counts(x, knn.eps_x, strict=False, presorted=sorted_x)
+            n_y = marginal_counts(y, knn.eps_y, strict=False, presorted=sorted_y)
             # Eq. (2): counts include the k neighbors, so n >= k >= 1 except
             # in degenerate duplicate layouts; guard psi(0).
             n_x = np.maximum(n_x, 1)
             n_y = np.maximum(n_y, 1)
-            value = (
-                psi_scalar(k)
-                - 1.0 / k
-                - float(np.mean(psi_int(n_x) + psi_int(n_y)))
-                + psi_scalar(m)
-            )
+            if digamma_table is not None:
+                psi_sum = digamma_table[n_x - 1] + digamma_table[n_y - 1]
+                psi_k = float(digamma_table[k - 1])
+                psi_m = float(digamma_table[m - 1])
+            else:
+                psi_sum = np.asarray(
+                    digamma_direct(n_x) + digamma_direct(n_y), dtype=np.float64
+                )
+                psi_k = float(digamma_direct(k))
+                psi_m = float(digamma_direct(m))
+            # .sum()/m is bit-identical to .mean() (numpy's _mean is
+            # umr_sum over count) without the wrapper's dispatch cost.
+            value = psi_k - 1.0 / k - float(psi_sum.sum() / m) + psi_m
         else:
-            n_x = marginal_counts(x, knn.kth_distance, strict=True)
-            n_y = marginal_counts(y, knn.kth_distance, strict=True)
-            value = (
-                psi_scalar(k)
-                - float(np.mean(psi_int(n_x + 1) + psi_int(n_y + 1)))
-                + psi_scalar(m)
-            )
+            n_x = marginal_counts(x, knn.kth_distance, strict=True, presorted=sorted_x)
+            n_y = marginal_counts(y, knn.kth_distance, strict=True, presorted=sorted_y)
+            if digamma_table is not None:
+                psi_sum = digamma_table[n_x] + digamma_table[n_y]
+                psi_k = float(digamma_table[k - 1])
+                psi_m = float(digamma_table[m - 1])
+            else:
+                psi_sum = np.asarray(
+                    digamma_direct(n_x + 1) + digamma_direct(n_y + 1), dtype=np.float64
+                )
+                psi_k = float(digamma_direct(k))
+                psi_m = float(digamma_direct(m))
+            value = psi_k - float(psi_sum.sum() / m) + psi_m
         if contracts.checks_enabled():
             contracts.check_mi_finite(float(value), where="KSGEstimator.mi_from_geometry")
         return float(value)

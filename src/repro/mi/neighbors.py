@@ -33,6 +33,7 @@ __all__ = [
     "chebyshev_knn_grid",
     "marginal_counts",
     "GridIndex",
+    "MarginalIndex",
     "PairDistanceWorkspace",
 ]
 
@@ -127,12 +128,29 @@ class PairDistanceWorkspace:
             raise ValueError(f"x and y must have equal length, got {x.size} and {y.size}")
         if x.size < 2:
             raise ValueError(f"need at least 2 samples, got {x.size}")
-        self._dx = np.abs(x[:, None] - x[None, :])
-        self._dy = np.abs(y[:, None] - y[None, :])
-        self._dist = np.maximum(self._dx, self._dy)
-        np.fill_diagonal(self._dist, np.inf)
-        #: Digamma lookup for integer arguments ``1..u`` shared by every
-        #: window of the group (lazily built by :meth:`digamma_table`).
+        self._x = x
+        self._y = y
+        # One (3, u, u) block -- [dist, |dx|, |dy|] -- so a window's knn()
+        # can slice, copy and gather all three layers in single numpy calls
+        # instead of three.  Values are identical to the separate
+        # ``np.abs(outer difference)`` / ``np.maximum`` construction.
+        u = x.size
+        full = np.empty((3, u, u))
+        np.subtract(x[:, None], x[None, :], out=full[1])
+        np.abs(full[1], out=full[1])
+        np.subtract(y[:, None], y[None, :], out=full[2])
+        np.abs(full[2], out=full[2])
+        np.maximum(full[1], full[2], out=full[0])
+        np.fill_diagonal(full[0], np.inf)
+        self._full = full
+        self._dist = full[0]
+        self._dx = full[1]
+        self._dy = full[2]
+        # Stable ascending-value orderings of the union projections, built
+        # lazily by sorted_window() and shared by every window of the group.
+        self._order_x: Optional[IntArray] = None
+        self._order_y: Optional[IntArray] = None
+        # Shared digamma prefix, resolved on first digamma_table() call.
         self._digamma: Optional[FloatArray] = None
         # Row-index column reused by every knn gather (sliced per window).
         self._rows = np.arange(self._dist.shape[0], dtype=np.intp)[:, None]
@@ -143,19 +161,48 @@ class PairDistanceWorkspace:
         return self._dist.shape[0]
 
     def digamma_table(self) -> FloatArray:
-        """``digamma(i)`` for ``i = 1..size``, computed once per workspace.
+        """``digamma(i)`` for ``i = 1..size`` from the process-wide table.
 
         ``table[i - 1] == digamma(i)`` exactly (same scipy evaluation on the
         same float64 inputs), so estimator code can gather instead of
-        re-evaluating the transcendental per window.
+        re-evaluating the transcendental per window.  The returned array may
+        be longer than ``size``.  Resolved once per workspace.
         """
         if self._digamma is None:
-            from scipy.special import digamma
+            from repro.mi.digamma import shared_digamma_table
 
-            self._digamma = np.asarray(
-                digamma(np.arange(1, self.size + 1, dtype=np.float64)), dtype=np.float64
-            )
+            self._digamma = shared_digamma_table().prefix(self.size)
         return self._digamma
+
+    #: Below this window size a direct ``np.sort`` of the window beats the
+    #: O(union) mask-gather over the amortized argsort (measured: sorting
+    #: <= a few hundred float64 costs ~1-2us, the mask-gather ~5us).
+    _SORT_DIRECT_MAX = 256
+
+    def sorted_window(self, offset: int, m: int) -> Tuple[FloatArray, FloatArray]:
+        """Sorted x/y projections of the window at ``offset``, span-amortized.
+
+        Two constructions, chosen by measured cost, both returning the
+        ascending sequence of the window's float64 multiset (a sorted
+        multiset has exactly one array realization, so they are
+        elementwise identical and feed :func:`marginal_counts`
+        ``presorted=`` without changing any count):
+
+        * small windows: a direct ``np.sort`` of the window slice;
+        * large windows: the union's stable argsort is computed once (per
+          axis, lazily) and the window's projection is a boolean-mask
+          gather over it -- C loops over ``size`` elements instead of a
+          fresh ``O(m log m)`` sort per window per axis.
+        """
+        hi = offset + m
+        if m < self._SORT_DIRECT_MAX:
+            return np.sort(self._x[offset:hi]), np.sort(self._y[offset:hi])
+        if self._order_x is None or self._order_y is None:
+            self._order_x = np.argsort(self._x, kind="stable")
+            self._order_y = np.argsort(self._y, kind="stable")
+        sel_x = self._order_x[(self._order_x >= offset) & (self._order_x < hi)]
+        sel_y = self._order_y[(self._order_y >= offset) & (self._order_y < hi)]
+        return self._x[sel_x], self._y[sel_y]
 
     def knn(self, offset: int, m: int, k: int) -> KnnResult:
         """k-NN geometry of the ``m``-sample window at ``offset`` in the union.
@@ -178,16 +225,18 @@ class PairDistanceWorkspace:
                 f"window [{offset}, {offset + m}) exceeds union span of {self.size} samples"
             )
         sel = slice(offset, offset + m)
-        # Contiguous copy so argpartition sees the exact buffer the scalar
-        # kernel builds (identical values *and* identical tie resolution).
-        dist = np.ascontiguousarray(self._dist[sel, sel])
-        neighbor_idx = np.argpartition(dist, k - 1, axis=1)[:, :k]
-        rows = self._rows[:m]
-        kth_distance = dist[rows, neighbor_idx].max(axis=1)
-        eps_x = self._dx[sel, sel][rows, neighbor_idx].max(axis=1)
-        eps_y = self._dy[sel, sel][rows, neighbor_idx].max(axis=1)
+        # Contiguous copy of all three layers at once; argpartition sees the
+        # exact buffer the scalar kernel builds (identical values *and*
+        # identical tie resolution), and one broadcast gather + one max
+        # replace three of each.
+        sub = np.ascontiguousarray(self._full[:, sel, sel])
+        neighbor_idx = sub[0].argpartition(k - 1, axis=1)[:, :k]
+        gathered = sub[:, self._rows[:m], neighbor_idx].max(axis=2)
         return KnnResult(
-            kth_distance=kth_distance, eps_x=eps_x, eps_y=eps_y, indices=neighbor_idx
+            kth_distance=gathered[0],
+            eps_x=gathered[1],
+            eps_y=gathered[2],
+            indices=neighbor_idx,
         )
 
 
@@ -312,7 +361,12 @@ def chebyshev_knn_grid(x: AnyArray, y: AnyArray, k: int) -> KnnResult:
     return KnnResult(kth_distance=kth_distance, eps_x=eps_x, eps_y=eps_y, indices=indices)
 
 
-def marginal_counts(values: AnyArray, radii: AnyArray, strict: bool) -> IntArray:
+def marginal_counts(
+    values: AnyArray,
+    radii: AnyArray,
+    strict: bool,
+    presorted: Optional[FloatArray] = None,
+) -> IntArray:
     """Count, for every point, the neighbors inside its marginal strip.
 
     For point ``i`` the strip is ``[values[i] - radii[i], values[i] + radii[i]]``
@@ -323,20 +377,100 @@ def marginal_counts(values: AnyArray, radii: AnyArray, strict: bool) -> IntArray
         radii: per-point strip half-widths, shape ``(m,)``.
         strict: when True count ``|v_j - v_i| < r_i`` (KSG algorithm 1);
             when False count ``|v_j - v_i| <= r_i`` (KSG algorithm 2).
+        presorted: optional ascending float64 array holding exactly the
+            multiset of ``values`` (e.g. a maintained
+            :meth:`MarginalIndex.sorted_values` or a
+            :meth:`PairDistanceWorkspace.sorted_window` projection).  When
+            given, the per-call ``O(m log m)`` sort is skipped; because a
+            sorted float64 multiset has exactly one array realization, the
+            counts are identical to the from-scratch path.
 
     Returns:
         Integer array of counts, shape ``(m,)``.
     """
-    values = np.asarray(values, dtype=np.float64).ravel()
-    radii = np.asarray(radii, dtype=np.float64).ravel()
-    order = np.sort(values)
+    # Hot path: one call per axis per MI estimate.  Skip the asarray
+    # round-trips when the caller already holds 1-D float64 arrays (the
+    # estimators always do); the converted path is value-identical.
+    if type(values) is not np.ndarray or values.dtype != np.float64 or values.ndim != 1:
+        values = np.asarray(values, dtype=np.float64).ravel()
+    if type(radii) is not np.ndarray or radii.dtype != np.float64 or radii.ndim != 1:
+        radii = np.asarray(radii, dtype=np.float64).ravel()
+    order = np.sort(values) if presorted is None else presorted
     lo = values - radii
     hi = values + radii
     if strict:
-        left = np.searchsorted(order, lo, side="right")
-        right = np.searchsorted(order, hi, side="left")
+        left = order.searchsorted(lo, side="right")
+        right = order.searchsorted(hi, side="left")
     else:
-        left = np.searchsorted(order, lo, side="left")
-        right = np.searchsorted(order, hi, side="right")
+        left = order.searchsorted(lo, side="left")
+        right = order.searchsorted(hi, side="right")
     counts = right - left - 1  # exclude the point itself
-    return np.maximum(counts, 0)
+    return np.maximum(counts, 0, out=counts)
+
+
+class MarginalIndex:
+    """A 1-D projection kept sorted incrementally under add/remove churn.
+
+    The incremental engine (paper Section 7, Lemmas 5/6) confines marginal
+    count changes to the influenced marginal regions, which means the
+    *sorted order* of a projection changes by one insertion or deletion
+    per point move.  This index is the IMR realization of that fact: it
+    maintains the ascending array with one ``searchsorted`` plus one
+    ``O(m)`` memmove per mutation, so a query never pays the
+    ``O(m log m)`` from-scratch sort that :func:`marginal_counts`
+    otherwise performs.
+
+    Exactness: an ascending float64 array is uniquely determined by its
+    value multiset, so after any mutation sequence :meth:`sorted_values`
+    is elementwise identical to ``np.sort`` of the live values (tests
+    assert this under randomized churn).
+    """
+
+    def __init__(self, values: Optional[AnyArray] = None) -> None:
+        self._buf = np.empty(64, dtype=np.float64)
+        self._size = 0
+        if values is not None:
+            self.reset(values)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def reset(self, values: AnyArray) -> None:
+        """Replace the contents with a fresh (bulk-sorted) value set."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if self._buf.size < values.size:
+            capacity = self._buf.size
+            while capacity < values.size:
+                capacity *= 2
+            self._buf = np.empty(capacity, dtype=np.float64)
+        self._size = values.size
+        self._buf[: self._size] = np.sort(values)
+
+    def add(self, value: float) -> None:
+        """Insert one value, keeping the array sorted (O(m) memmove)."""
+        size = self._size
+        if size == self._buf.size:
+            grown = np.empty(self._buf.size * 2, dtype=np.float64)
+            grown[:size] = self._buf[:size]
+            self._buf = grown
+        pos = int(self._buf[:size].searchsorted(value, side="right"))
+        self._buf[pos + 1 : size + 1] = self._buf[pos:size]
+        self._buf[pos] = value
+        self._size = size + 1
+
+    def remove(self, value: float) -> None:
+        """Remove one occurrence of ``value`` (O(m) memmove).
+
+        Raises:
+            KeyError: if ``value`` is not present.
+        """
+        size = self._size
+        pos = int(self._buf[:size].searchsorted(value, side="left"))
+        if pos >= size or self._buf[pos] != value:
+            raise KeyError(f"value {value!r} not present in the index")
+        self._buf[pos : size - 1] = self._buf[pos + 1 : size]
+        self._size = size - 1
+
+    def sorted_values(self) -> FloatArray:
+        """The live ascending array (a view; do not mutate)."""
+        return self._buf[: self._size]

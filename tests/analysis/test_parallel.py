@@ -128,3 +128,39 @@ class TestNJobsHandling:
         series = {"a": np.zeros(100), "b": np.zeros(99)}
         with pytest.raises(ValueError, match="share a length"):
             scan_pairs_parallel(series, _config(), n_jobs=2)
+
+    def test_workers_clamped_to_pair_count(self, collection, monkeypatch):
+        """Asking for more workers than pairs must not spawn idle workers."""
+        import repro.analysis.parallel as parallel_mod
+
+        recorded = []
+        real_executor = parallel_mod.ProcessPoolExecutor
+
+        class RecordingExecutor(real_executor):  # type: ignore[valid-type, misc]
+            def __init__(self, *args, **kwargs):
+                recorded.append(kwargs["max_workers"])
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", RecordingExecutor)
+        pairs = [("a", "b"), ("c", "d")]
+        report = scan_pairs_parallel(
+            collection, _config(), prefilter_threshold=0.05, pairs=pairs, n_jobs=6
+        )
+        assert recorded == [2]
+        serial = scan_pairs(collection, _config(), prefilter_threshold=0.05, pairs=pairs)
+        assert _snapshot(report) == _snapshot(serial)
+
+    def test_single_pair_with_many_workers_runs_serially(self, collection, monkeypatch):
+        """One pair clamps to one worker, which is the in-process serial path."""
+        import repro.analysis.parallel as parallel_mod
+
+        def fail(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("a process pool was spawned for a single pair")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", fail)
+        pairs = [("a", "b")]
+        report = scan_pairs_parallel(
+            collection, _config(), prefilter_threshold=0.05, pairs=pairs, n_jobs=4
+        )
+        serial = scan_pairs(collection, _config(), prefilter_threshold=0.05, pairs=pairs)
+        assert _snapshot(report) == _snapshot(serial)

@@ -1,0 +1,124 @@
+"""Exactness tests for presorted marginals and the incremental MarginalIndex."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mi.neighbors import MarginalIndex, PairDistanceWorkspace, marginal_counts
+
+
+def test_presorted_counts_exactly_equal_scratch_path(rng):
+    values = rng.normal(size=200)
+    radii = np.abs(rng.normal(size=200)) * 0.5
+    presorted = np.sort(values)
+    for strict in (True, False):
+        direct = marginal_counts(values, radii, strict=strict)
+        fast = marginal_counts(values, radii, strict=strict, presorted=presorted)
+        assert np.array_equal(direct, fast)
+
+
+def test_presorted_counts_with_duplicates(rng):
+    values = rng.integers(0, 10, size=120).astype(np.float64)
+    radii = np.full(120, 1.0)
+    presorted = np.sort(values)
+    for strict in (True, False):
+        assert np.array_equal(
+            marginal_counts(values, radii, strict=strict),
+            marginal_counts(values, radii, strict=strict, presorted=presorted),
+        )
+
+
+def test_marginal_index_reset_matches_sort(rng):
+    values = rng.normal(size=333)
+    index = MarginalIndex(values)
+    assert len(index) == 333
+    assert np.array_equal(index.sorted_values(), np.sort(values))
+
+
+def test_marginal_index_add_remove_basics():
+    index = MarginalIndex(np.array([3.0, 1.0, 2.0]))
+    index.add(2.5)
+    assert np.array_equal(index.sorted_values(), [1.0, 2.0, 2.5, 3.0])
+    index.remove(2.0)
+    assert np.array_equal(index.sorted_values(), [1.0, 2.5, 3.0])
+    with pytest.raises(KeyError):
+        index.remove(7.0)
+
+
+def test_marginal_index_duplicates_remove_one_occurrence():
+    index = MarginalIndex(np.array([1.0, 2.0, 2.0, 3.0]))
+    index.remove(2.0)
+    assert np.array_equal(index.sorted_values(), [1.0, 2.0, 3.0])
+    index.remove(2.0)
+    assert np.array_equal(index.sorted_values(), [1.0, 3.0])
+    with pytest.raises(KeyError):
+        index.remove(2.0)
+
+
+def test_marginal_index_growth_beyond_initial_capacity(rng):
+    index = MarginalIndex()
+    reference = []
+    for value in rng.normal(size=500):
+        index.add(float(value))
+        reference.append(float(value))
+    assert np.array_equal(index.sorted_values(), np.sort(reference))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]), st.integers(0, 9)),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_marginal_index_randomized_churn_matches_sort(ops):
+    """Property (ISSUE satellite): after ANY add/remove sequence, the
+    maintained array is exactly np.sort of the live multiset."""
+    index = MarginalIndex()
+    live = []
+    for op, raw in ops:
+        value = float(raw) * 0.25  # small grid forces heavy duplication
+        if op == "add":
+            index.add(value)
+            live.append(value)
+        elif live:
+            if value in live:
+                index.remove(value)
+                live.remove(value)
+            else:
+                with pytest.raises(KeyError):
+                    index.remove(value)
+        assert np.array_equal(index.sorted_values(), np.sort(live))
+        # The maintained array serves marginal_counts identically to the
+        # from-scratch sort at every intermediate state.
+        if len(live) >= 2:
+            values = np.asarray(live, dtype=np.float64)
+            radii = np.full(values.size, 0.3)
+            for strict in (True, False):
+                assert np.array_equal(
+                    marginal_counts(values, radii, strict=strict),
+                    marginal_counts(
+                        values, radii, strict=strict, presorted=index.sorted_values()
+                    ),
+                )
+
+
+def test_workspace_sorted_window_matches_np_sort(rng):
+    x = rng.normal(size=64)
+    y = rng.normal(size=64)
+    workspace = PairDistanceWorkspace(x, y)
+    for offset, m in ((0, 64), (5, 20), (40, 24), (10, 2)):
+        sorted_x, sorted_y = workspace.sorted_window(offset, m)
+        assert np.array_equal(sorted_x, np.sort(x[offset : offset + m]))
+        assert np.array_equal(sorted_y, np.sort(y[offset : offset + m]))
+
+
+def test_workspace_sorted_window_with_duplicates():
+    x = np.array([2.0, 1.0, 2.0, 0.0, 1.0, 1.0])
+    y = np.array([0.0, 0.0, 1.0, 1.0, 2.0, 0.5])
+    workspace = PairDistanceWorkspace(x, y)
+    sorted_x, sorted_y = workspace.sorted_window(1, 4)
+    assert np.array_equal(sorted_x, np.sort(x[1:5]))
+    assert np.array_equal(sorted_y, np.sort(y[1:5]))

@@ -174,19 +174,58 @@ def test_ty006_silent_on_perf_counter_and_sanctioned_site():
 
 
 # --------------------------------------------------------------------- #
+# TY007 direct digamma
+
+
+def test_ty007_fires_on_scipy_special_import():
+    src = "from scipy.special import digamma\nval = digamma(3)\n__all__ = ['val']\n"
+    assert "TY007" in codes(src, MI_PATH)
+
+
+def test_ty007_fires_on_attribute_calls():
+    src = (
+        "import scipy.special\n"
+        "val = scipy.special.digamma(3)\n"
+        "__all__ = ['val']\n"
+    )
+    assert "TY007" in codes(src, OTHER_PATH)
+    src2 = (
+        "from scipy import special\n"
+        "val = special.digamma(3)\n"
+        "__all__ = ['val']\n"
+    )
+    assert "TY007" in codes(src2, OTHER_PATH)
+
+
+def test_ty007_silent_on_sanctioned_module_tests_and_table_use():
+    bad = "from scipy.special import digamma\nval = digamma(3)\n__all__ = ['val']\n"
+    assert "TY007" not in codes(bad, Path("src/repro/mi/digamma.py"))
+    assert "TY007" not in codes(bad, TEST_PATH)
+    good = (
+        "from repro.mi.digamma import shared_digamma_table\n"
+        "val = shared_digamma_table().value(3)\n"
+        "__all__ = ['val']\n"
+    )
+    assert "TY007" not in codes(good, MI_PATH)
+    # Other scipy.special members stay allowed.
+    other = "from scipy.special import gammaln\nval = gammaln(3.0)\n__all__ = ['val']\n"
+    assert "TY007" not in codes(other, MI_PATH)
+
+
+# --------------------------------------------------------------------- #
 # engine behavior
 
 
-def test_registry_contains_all_six_rules():
+def test_registry_contains_all_rules():
     assert sorted(registered_rules()) == [
-        "TY001", "TY002", "TY003", "TY004", "TY005", "TY006",
+        "TY001", "TY002", "TY003", "TY004", "TY005", "TY006", "TY007",
     ]
 
 
 def test_resolve_rules_select_and_ignore():
     assert [r.code for r in resolve_rules(select=["TY005", "TY001"])] == ["TY005", "TY001"]
     assert [r.code for r in resolve_rules(ignore=["TY004"])] == [
-        "TY001", "TY002", "TY003", "TY005", "TY006",
+        "TY001", "TY002", "TY003", "TY005", "TY006", "TY007",
     ]
     with pytest.raises(KeyError):
         resolve_rules(select=["TY042"])
@@ -241,7 +280,7 @@ def test_cli_exit_codes(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("TY001", "TY002", "TY003", "TY004", "TY005", "TY006"):
+    for code in ("TY001", "TY002", "TY003", "TY004", "TY005", "TY006", "TY007"):
         assert code in out
 
 

@@ -1,4 +1,4 @@
-"""Repository-specific tycoslint rules (TY001 - TY006).
+"""Repository-specific tycoslint rules (TY001 - TY007).
 
 Each rule machine-enforces an invariant the TYCOS reproduction relies on
 but that generic linters do not check:
@@ -15,6 +15,9 @@ but that generic linters do not check:
 * TY006 -- ``time.time()`` is wall-clock and jumps with NTP; interval
   timing must use ``time.perf_counter()`` (the sanctioned wall-clock
   site is the ``SearchStats`` timing in ``repro/core/tycos.py``).
+* TY007 -- ``scipy.special.digamma`` must only be called through the
+  shared lookup table in ``repro/mi/digamma.py``; direct calls re-pay
+  the transcendental per window and bypass the process-wide cache.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ __all__ = [
     "DunderAllRule",
     "SilentExceptRule",
     "WallClockRule",
+    "DigammaRule",
 ]
 
 
@@ -381,3 +385,52 @@ class WallClockRule(Rule):
                     "the only sanctioned wall-clock site)",
                     path,
                 )
+
+
+@register
+class DigammaRule(Rule):
+    """TY007: scipy digamma only through ``repro/mi/digamma.py``.
+
+    Every digamma argument in the KSG kernel is a small positive integer,
+    so evaluations must come from the shared
+    :class:`repro.mi.digamma.DigammaTable` (bit-identical, evaluated once
+    per integer ever seen).  Direct ``scipy.special.digamma`` imports or
+    attribute calls anywhere else re-pay the transcendental per window
+    and silently bypass the process-wide cache.
+    """
+
+    code = "TY007"
+    name = "direct-digamma"
+    description = "scipy.special.digamma used outside repro/mi/digamma.py"
+
+    _sanctioned = "repro/mi/digamma.py"
+
+    def applies_to(self, path: Path) -> bool:
+        if is_test_path(path):
+            return False
+        return not path.as_posix().endswith(self._sanctioned)
+
+    _message = (
+        "direct scipy.special.digamma use; route through "
+        "repro.mi.digamma (shared_digamma_table / digamma_direct), the "
+        "only sanctioned call site"
+    )
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "scipy.special" and any(
+                    alias.name == "digamma" for alias in node.names
+                ):
+                    yield self.violation(node, self._message, path)
+            elif isinstance(node, ast.Attribute) and node.attr == "digamma":
+                value = node.value
+                if isinstance(value, ast.Name) and value.id == "special":
+                    yield self.violation(node, self._message, path)
+                elif (
+                    isinstance(value, ast.Attribute)
+                    and value.attr == "special"
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id == "scipy"
+                ):
+                    yield self.violation(node, self._message, path)
