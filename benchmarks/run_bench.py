@@ -1,6 +1,6 @@
 """Tracked performance baseline for the parallel scan + MI kernel caches.
 
-Runs four pinned-seed benchmarks and emits one JSON document:
+Runs five pinned-seed benchmarks and emits one JSON document:
 
 * **pairwise** -- a synthetic sensor collection scanned with
   ``scan_pairs`` serially and at several worker counts, timing the
@@ -18,12 +18,18 @@ Runs four pinned-seed benchmarks and emits one JSON document:
   with each cache switched off in turn and with all of them on.  Every
   ablation must return the same windows and MI values; only the time
   may change.
+* **segmented** -- one long pair searched whole, then with its timeline
+  sharded into overlapping segments: the sequential reference stitcher
+  and the process-pool path at the same segment count.  Every parallel
+  row must reproduce its sequential reference byte-exactly (windows, MI
+  floats, and order) before its speedup is reported -- the n_segments=2
+  row doubles as a worker-pickling canary in CI smoke runs.
 
 Usage::
 
-    python benchmarks/run_bench.py --output BENCH_PR3.json   # full baseline
+    python benchmarks/run_bench.py --output BENCH_PR4.json   # full baseline
     python benchmarks/run_bench.py --smoke                   # CI health check
-    python benchmarks/run_bench.py --smoke --check-against BENCH_PR3.json
+    python benchmarks/run_bench.py --smoke --check-against BENCH_PR4.json
 
 ``--check-against`` compares this run's **gate** windows/second with the
 committed document's and exits non-zero when it regressed by more than
@@ -52,6 +58,7 @@ import numpy as np
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
 from repro.analysis.pairwise import scan_pairs  # noqa: E402
+from repro.analysis.segmented import search_segmented  # noqa: E402
 from repro.core.config import TycosConfig  # noqa: E402
 from repro.core.tycos import Tycos  # noqa: E402
 from repro.mi.digamma import digamma_direct, shared_digamma_table  # noqa: E402
@@ -62,7 +69,7 @@ from repro.mi.neighbors import (  # noqa: E402
     marginal_counts,
 )
 
-SCHEMA = "tycos-bench-pr3/1"
+SCHEMA = "tycos-bench-pr4/1"
 
 #: Cache knobs of the scoring ablations.  Keys are TycosConfig fields.
 _ALL_CACHES_OFF = {
@@ -351,6 +358,75 @@ def bench_scoring(length: int, config: TycosConfig, repeats: int, seed: int) -> 
     return out
 
 
+def bench_segmented(
+    length: int,
+    config: TycosConfig,
+    rows: List[Tuple[int, int]],
+    repeats: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """Intra-pair segmentation: sequential stitcher vs process pool.
+
+    One long pinned pair is searched unsegmented first, then once per
+    ``(n_segments, n_jobs)`` row.  Rows with ``n_jobs=1`` run the
+    sequential reference stitcher and define the expected result for
+    their segment count; every ``n_jobs>1`` row is asserted byte-equal
+    to that reference (same windows, MI floats, and order) before its
+    speedup is recorded, so a worker-pickling or shared-memory
+    regression fails the benchmark instead of skewing it.
+    """
+    x, y = make_scoring_pair(length, seed)
+    out: Dict[str, Any] = {"series_length": length}
+    box: List[Any] = []
+
+    def run_unsegmented() -> None:
+        box.append(Tycos(config).search(x, y))
+
+    unsegmented_seconds = best_of(repeats, run_unsegmented)
+    unsegmented = box[-1]
+    out["unsegmented"] = {
+        "seconds": round(unsegmented_seconds, 4),
+        "windows": len(unsegmented.windows),
+        "windows_evaluated": unsegmented.stats.windows_evaluated,
+    }
+
+    references: Dict[int, List[Any]] = {}
+    sequential_seconds: Dict[int, float] = {}
+    for n_segments, n_jobs in rows:
+        def run() -> None:
+            box.append(
+                search_segmented(x, y, config, n_segments=n_segments, n_jobs=n_jobs)
+            )
+
+        seconds = best_of(repeats, run)
+        result = box[-1]
+        snapshot = [(r.window, r.mi, r.nmi) for r in result.windows]
+        label = f"n_segments={n_segments},n_jobs={n_jobs}"
+        if n_jobs == 1:
+            references[n_segments] = snapshot
+            sequential_seconds[n_segments] = seconds
+        elif snapshot != references.get(n_segments):
+            raise AssertionError(
+                f"segmented row {label!r} diverged from its sequential reference"
+            )
+        stats = result.stats
+        row: Dict[str, Any] = {
+            "seconds": round(seconds, 4),
+            "windows": len(result.windows),
+            "windows_evaluated": stats.windows_evaluated,
+            "segments": stats.segments,
+            "stitch_dedups": stats.stitch_dedups,
+            "stitch_rescores": stats.stitch_rescores,
+        }
+        if n_jobs != 1:
+            row["identical_to_sequential"] = True  # asserted above
+            row["speedup_vs_sequential"] = round(
+                sequential_seconds[n_segments] / seconds, 3
+            )
+        out[label] = row
+    return out
+
+
 def check_regression(
     document: Dict[str, Any], baseline_path: str, max_regression: float
 ) -> Optional[str]:
@@ -401,10 +477,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.smoke:
         n_series, length, jobs = 4, 240, [1, 2]
         scoring_length = 400
+        segment_rows = [(2, 1), (2, 2)]
         config = TycosConfig(sigma=0.3, s_min=8, s_max=40, td_max=8, jitter=1e-6, seed=args.seed)
     else:
         n_series, length, jobs = 8, 600, [1, 2, 4]
         scoring_length = 1600
+        segment_rows = [(2, 1), (2, 2), (4, 1), (4, 4)]
         config = TycosConfig(sigma=0.3, s_min=8, s_max=80, td_max=12, jitter=1e-6, seed=args.seed)
 
     document = {
@@ -428,13 +506,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gate": bench_gate(args.seed),
         "kernel": bench_kernel(repeats),
         "scoring": bench_scoring(scoring_length, config, repeats, args.seed + 1),
+        "segmented": bench_segmented(
+            scoring_length, config, segment_rows, repeats, args.seed + 1
+        ),
         "notes": (
             "Timings are best-of-repeats wall clock.  Multi-worker speedup "
             "scales with host cores (see host.cpu_count); on a single-core "
             "host the n_jobs>1 rows measure process-pool overhead.  The "
             "scoring ablations are exact: every row reproduces the same "
             "windows and MI floats, so the deltas are pure kernel cost.  "
-            "The gate row is the same workload in smoke and full mode and "
+            "Segmented n_jobs>1 rows are asserted byte-equal to their "
+            "sequential reference before any speedup is reported.  The "
+            "gate row is the same workload in smoke and full mode and "
             "feeds the --check-against regression comparison."
         ),
     }

@@ -4,13 +4,20 @@
   (the outer loop of the paper's 72-plug energy study).
 * :mod:`repro.analysis.parallel` -- fan the pairwise scan over a process
   pool with shared-memory series transfer.
+* :mod:`repro.analysis.segmented` -- shard one pair's timeline into
+  overlapping segments searched in parallel and stitched deterministically.
 * :mod:`repro.analysis.chunked` -- chunked search over series too long for
   one in-memory pass.
 * :mod:`repro.analysis.csvio` -- CSV ingestion and the ``tycos-search``
   command-line tool.
 """
 
-from repro.analysis.chunked import ChunkedResult, chunk_pair, search_chunked
+from repro.analysis.chunked import (
+    ChunkedResult,
+    chunk_pair,
+    default_chunk_overlap,
+    search_chunked,
+)
 from repro.analysis.consolidate import consolidate_windows
 from repro.analysis.csvio import read_csv_series
 from repro.analysis.inspect import WindowInspection, ascii_scatter, inspect_window
@@ -22,6 +29,7 @@ from repro.analysis.pairwise import (
     scan_pairs,
 )
 from repro.analysis.parallel import scan_pairs_parallel
+from repro.analysis.segmented import search_segmented
 from repro.analysis.serialization import (
     load_result,
     result_from_dict,
@@ -37,8 +45,10 @@ __all__ = [
     "PairFinding",
     "PairFailure",
     "prefilter_score",
+    "search_segmented",
     "search_chunked",
     "chunk_pair",
+    "default_chunk_overlap",
     "ChunkedResult",
     "read_csv_series",
     "consolidate_windows",

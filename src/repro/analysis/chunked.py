@@ -5,7 +5,12 @@ datasets" thanks to its bottom-up design.  This driver makes that concrete
 for out-of-core settings: the pair is processed in overlapping chunks, a
 full TYCOS search runs per chunk, and windows found in the overlap zones
 are deduplicated.  The overlap must cover ``s_max + td_max`` so no window
-straddling a chunk boundary can be missed.
+straddling a chunk boundary can be missed -- the same containment lemma
+that underwrites the in-memory segmented engine (see
+:mod:`repro.core.segmentation`); :func:`default_chunk_overlap` computes
+the safe value for a config.  For a pair that *does* fit in memory,
+prefer :mod:`repro.analysis.segmented`, which additionally runs the
+pieces in parallel and stitches with whole-series rescoring.
 
 The chunk source is an iterator of arrays, so callers can stream from
 disk, a database cursor, or an mmap without materializing the series.
@@ -22,7 +27,19 @@ from repro.core.results import ResultSet, WindowResult
 from repro.core.tycos import Tycos
 from repro.core.window import TimeDelayWindow
 
-__all__ = ["ChunkedResult", "search_chunked", "chunk_pair"]
+__all__ = ["ChunkedResult", "search_chunked", "chunk_pair", "default_chunk_overlap"]
+
+
+def default_chunk_overlap(config: TycosConfig) -> int:
+    """The chunk overlap guaranteeing seam completeness for ``config``.
+
+    Any feasible window's footprint spans at most ``s_max + td_max``
+    samples, so chunks overlapping by at least that much contain every
+    window whole in some chunk.  Delegates to
+    :meth:`~repro.core.config.TycosConfig.segment_overlap`, which adds
+    ``segment_margin`` (default ``s_min``) of working context on top.
+    """
+    return config.segment_overlap()
 
 
 @dataclass

@@ -7,6 +7,7 @@ a full pairwise scan from the command line::
 
     tycos-search data.csv --x temperature --y consumption --sigma 0.3
     tycos-search plugs.csv --all-pairs --td-max 48 --s-max 240
+    tycos-search long.csv --x a --y b --n-segments 4 --n-jobs 4
 
 Only the standard library's ``csv`` module is used -- no dataframe
 dependency.
@@ -91,6 +92,7 @@ def _build_config(args: argparse.Namespace) -> TycosConfig:
         significance_permutations=args.permutations,
         seed=args.seed,
         init_delay_step=args.delay_step,
+        n_segments=args.n_segments,
     )
 
 
@@ -119,7 +121,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--n-jobs", type=int, default=1,
-        help="worker processes for --all-pairs (-1: all cores; default: serial)",
+        help="worker processes: pairs for --all-pairs, timeline segments for "
+             "--x/--y with --n-segments (-1: all cores; default: serial)",
+    )
+    parser.add_argument(
+        "--n-segments", type=int, default=1,
+        help="shard a single pair's timeline into this many overlapping "
+             "segments searched independently and stitched (default: 1)",
     )
     args = parser.parse_args(argv)
 
@@ -136,9 +144,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     series = read_csv_series(args.csv, columns=[args.x, args.y])
-    result = Tycos(config).search(series[args.x], series[args.y])
+    result = Tycos(config).search(series[args.x], series[args.y], n_jobs=args.n_jobs)
+    segmented = f" over {result.stats.segments} segments" if result.stats.segments else ""
     print(f"{len(result.windows)} correlated windows "
-          f"({result.stats.windows_evaluated} evaluated, "
+          f"({result.stats.windows_evaluated} evaluated{segmented}, "
           f"{result.stats.runtime_seconds:.2f}s)")
     for r in result.windows:
         w = r.window

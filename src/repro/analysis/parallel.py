@@ -36,7 +36,13 @@ from repro.analysis.pairwise import PairFailure, PairwiseReport, _evaluate_pair
 from repro.core.config import TycosConfig
 from repro.core.tycos import Tycos
 
-__all__ = ["scan_pairs_parallel", "resolve_n_jobs"]
+__all__ = [
+    "scan_pairs_parallel",
+    "resolve_n_jobs",
+    "pack_series",
+    "attach_series",
+    "attach_untracked",
+]
 
 # One (name, offset, length) entry per series inside the shared block,
 # offsets in *elements* of float64.
@@ -67,7 +73,7 @@ def resolve_n_jobs(n_jobs: int) -> int:
     return n_jobs
 
 
-def _pack_series(series: Dict[str, FloatArray]) -> Tuple[shared_memory.SharedMemory, _Layout]:
+def pack_series(series: Dict[str, FloatArray]) -> Tuple[shared_memory.SharedMemory, _Layout]:
     """Copy every series into one shared-memory block.
 
     Returns the block (owned by the caller, who must close+unlink it) and
@@ -85,7 +91,7 @@ def _pack_series(series: Dict[str, FloatArray]) -> Tuple[shared_memory.SharedMem
     return shm, layout
 
 
-def _attach_series(shm: shared_memory.SharedMemory, layout: _Layout) -> Dict[str, FloatArray]:
+def attach_series(shm: shared_memory.SharedMemory, layout: _Layout) -> Dict[str, FloatArray]:
     """Rebuild read-only series views over an attached shared block."""
     series: Dict[str, FloatArray] = {}
     for name, start, length in layout:
@@ -95,7 +101,7 @@ def _attach_series(shm: shared_memory.SharedMemory, layout: _Layout) -> Dict[str
     return series
 
 
-def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+def attach_untracked(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing shared block without claiming ownership.
 
     ``SharedMemory(name=...)`` registers the segment with the attaching
@@ -132,9 +138,9 @@ def _init_worker_shm(
     prefilter_threshold: float,
 ) -> None:
     """Pool initializer: attach the shared block and build series views."""
-    shm = _attach_untracked(shm_name)
+    shm = attach_untracked(shm_name)
     _WORKER_STATE["shm"] = shm  # keep the mapping alive for the worker's life
-    _WORKER_STATE["series"] = _attach_series(shm, layout)
+    _WORKER_STATE["series"] = attach_series(shm, layout)
     _WORKER_STATE["engine"] = engine
     _WORKER_STATE["prefilter_threshold"] = prefilter_threshold
 
@@ -258,7 +264,7 @@ def scan_pairs_parallel(
     shm: Optional[shared_memory.SharedMemory] = None
     if use_shared_memory:
         try:
-            shm, layout = _pack_series(series)
+            shm, layout = pack_series(series)
         except (OSError, ValueError):
             shm = None  # e.g. /dev/shm unavailable in a sandbox
     try:

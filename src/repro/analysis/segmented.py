@@ -1,0 +1,303 @@
+"""Segmented intra-pair search: shard one pair's timeline across cores.
+
+:mod:`repro.analysis.parallel` scales a *collection* scan by giving each
+worker whole pairs, but a single long pair still runs one sequential
+restart loop.  This module shards the pair itself: ``[0, n)`` is covered
+by ``n_segments`` spans overlapping by
+:meth:`~repro.core.config.TycosConfig.segment_overlap` samples, an
+independent TYCOS restart loop runs per span, and the per-span results
+are stitched deterministically.  The overlap makes every feasible
+window's footprint fully contained in at least one span (the containment
+lemma of :mod:`repro.core.segmentation`), so no window is lost to a
+boundary.
+
+Determinism is the design center:
+
+* Jitter is applied **once**, to the whole pair, before segmentation.
+  Every span searches a slice of the *same* jittered arrays, so a window
+  evaluated by two different segments sees bit-identical samples.
+* The stitcher runs on index-ordered per-span results: exact duplicates
+  from overlap zones are dropped (first span wins), every surviving
+  overlap-zone window is **rescored on the whole series** by one shared
+  scorer, and cross-segment conflicts are resolved through the existing
+  :class:`~repro.core.results.ResultSet` machinery in fixed
+  ``(score, start, delay)`` priority.
+* The sequential path (``n_jobs=1``) is the reference stitcher that
+  *defines* the semantics; the process-pool path ships the jittered pair
+  once through shared memory and must reproduce the reference bit-exactly
+  for every worker count (asserted in ``tests/analysis/test_segmented.py``
+  and in the benchmark harness).
+
+Segmenting changes which restarts are attempted -- each span rescans from
+its own start -- so ``n_segments=k`` results may legitimately differ from
+``n_segments=1`` results; what never changes is the parallel/sequential
+equivalence at a fixed segment count, and ``n_segments=1`` reproduces the
+classic whole-series search exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro._types import AnyArray, FloatArray, WindowKey
+from repro.analysis.parallel import (
+    attach_series,
+    attach_untracked,
+    pack_series,
+    resolve_n_jobs,
+)
+from repro.core.config import TycosConfig
+from repro.core.results import ResultSet, WindowResult
+from repro.core.segmentation import Span, overlap_zones, segment_spans
+from repro.core.thresholds import BatchScorer
+from repro.core.tycos import SearchStats, Tycos, TycosResult
+from repro.core.window import PairView, TimeDelayWindow
+
+__all__ = ["search_segmented"]
+
+# Worker-process globals, populated once by the pool initializer: the
+# attached jittered pair plus the per-segment engine; tasks then carry
+# only span coordinates.
+_SEGMENT_STATE: Dict[str, Any] = {}
+
+#: One worker task: (submission index, span lo, span hi).
+_Task = Tuple[int, int, int]
+
+
+def _segment_engine(engine: Tycos) -> Tycos:
+    """The engine each span runs: same variant, jitter off, unsegmented.
+
+    Jitter is already applied to the whole pair before slicing (so spans
+    share bit-identical samples), and a span search must never recurse
+    into segmentation.
+    """
+    return Tycos(
+        engine.config.scaled(jitter=0.0, n_segments=1),
+        use_noise=engine.use_noise,
+        use_incremental=engine.use_incremental,
+        overlap_policy=engine.overlap_policy,
+        batched_scoring=engine.batched_scoring,
+    )
+
+
+def _search_span(
+    engine: Tycos, x: FloatArray, y: FloatArray, lo: int, hi: int
+) -> TycosResult:
+    """Run one span's restart loop on the jittered slice ``[lo, hi)``."""
+    return engine.search(x[lo:hi], y[lo:hi])
+
+
+def _init_segment_worker_shm(
+    shm_name: str, layout: List[Tuple[str, int, int]], engine: Tycos
+) -> None:
+    """Pool initializer: attach the shared jittered pair."""
+    shm = attach_untracked(shm_name)
+    _SEGMENT_STATE["shm"] = shm  # keep the mapping alive for the worker's life
+    arrays = attach_series(shm, layout)
+    _SEGMENT_STATE["x"] = arrays["x"]
+    _SEGMENT_STATE["y"] = arrays["y"]
+    _SEGMENT_STATE["engine"] = engine
+
+
+def _init_segment_worker_pickle(x: FloatArray, y: FloatArray, engine: Tycos) -> None:
+    """Pool initializer fallback: the jittered pair arrives pickled."""
+    _SEGMENT_STATE["x"] = x
+    _SEGMENT_STATE["y"] = y
+    _SEGMENT_STATE["engine"] = engine
+
+
+def _scan_span_task(task: _Task) -> Tuple[int, TycosResult]:
+    """Worker task: search one span, return its index-tagged result."""
+    index, lo, hi = task
+    result = _search_span(
+        _SEGMENT_STATE["engine"], _SEGMENT_STATE["x"], _SEGMENT_STATE["y"], lo, hi
+    )
+    return index, result
+
+
+def _run_segments_parallel(
+    seg_engine: Tycos,
+    pair: PairView,
+    spans: Sequence[Span],
+    workers: int,
+    use_shared_memory: bool,
+) -> List[TycosResult]:
+    """Fan the spans over a process pool; results return in span order."""
+    tasks: List[_Task] = [(i, lo, hi) for i, (lo, hi) in enumerate(spans)]
+    shm: Optional[shared_memory.SharedMemory] = None
+    if use_shared_memory:
+        try:
+            shm, layout = pack_series({"x": pair.x, "y": pair.y})
+        except (OSError, ValueError):
+            shm = None  # e.g. /dev/shm unavailable in a sandbox
+    try:
+        if shm is not None:
+            initializer = _init_segment_worker_shm
+            initargs: Tuple[Any, ...] = (shm.name, layout, seg_engine)
+        else:
+            initializer = _init_segment_worker_pickle  # type: ignore[assignment]
+            initargs = (pair.x, pair.y, seg_engine)
+        slots: List[Optional[TycosResult]] = [None] * len(tasks)
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            for index, result in pool.map(_scan_span_task, tasks):
+                slots[index] = result
+    finally:
+        if shm is not None:
+            shm.close()
+            shm.unlink()
+    out: List[TycosResult] = []
+    for slot in slots:
+        if slot is None:  # pragma: no cover - map() either fills all or raises
+            raise RuntimeError("segmented scan lost a span result")
+        out.append(slot)
+    return out
+
+
+def _stitch(
+    engine: Tycos,
+    pair: PairView,
+    spans: Sequence[Span],
+    per_segment: Sequence[TycosResult],
+    started: float,
+) -> TycosResult:
+    """Merge per-span results into one deterministic global result.
+
+    Windows are translated to global coordinates in span order; exact
+    duplicates (the same window found by two spans sharing an overlap
+    zone) are dropped first-span-wins.  Windows whose X interval touches
+    an overlap zone -- the only ones that can duplicate or conflict
+    across spans, since two spans share no other samples -- are rescored
+    on the whole series by one shared scorer, so their reported scores
+    and their conflict-resolution values are independent of which span
+    found them; the survivors enter the result set in fixed
+    ``(score, start, delay)`` priority through
+    :meth:`~repro.core.results.ResultSet.insert_prioritized`.  Interior
+    windows cannot conflict cross-span (their X interval lies in exactly
+    one span, and within-span conflicts were already resolved), so they
+    are inserted as-is.
+    """
+    stats = SearchStats(segments=len(spans))
+    for seg in per_segment:
+        s = seg.stats
+        stats.windows_evaluated += s.windows_evaluated
+        stats.cache_hits += s.cache_hits
+        stats.restarts += s.restarts
+        stats.lahc_iterations += s.lahc_iterations
+        stats.accepted_moves += s.accepted_moves
+        stats.noise_prunes += s.noise_prunes
+        stats.mi_full_searches += s.mi_full_searches
+        stats.mi_incremental_updates += s.mi_incremental_updates
+        stats.workspace_builds += s.workspace_builds
+        stats.workspace_hits += s.workspace_hits
+
+    candidates: Dict[WindowKey, WindowResult] = {}
+    for (lo, _hi), seg in zip(spans, per_segment):
+        for r in seg.windows:
+            w = r.window
+            global_window = TimeDelayWindow(
+                start=w.start + lo, end=w.end + lo, delay=w.delay
+            )
+            key = global_window.key()
+            if key in candidates:
+                stats.stitch_dedups += 1
+                continue
+            candidates[key] = WindowResult(window=global_window, mi=r.mi, nmi=r.nmi)
+
+    zones = overlap_zones(list(spans))
+
+    def touches_zone(w: TimeDelayWindow) -> bool:
+        return any(w.start < z_hi and w.end >= z_lo for z_lo, z_hi in zones)
+
+    accepted = ResultSet(policy=engine.overlap_policy)
+    boundary: List[WindowResult] = []
+    for r in candidates.values():
+        if touches_zone(r.window):
+            boundary.append(r)
+        else:
+            accepted.insert(r)
+    if boundary:
+        rescorer = BatchScorer(pair, engine.config)
+        scored: List[Tuple[WindowResult, float]] = []
+        for r in boundary:
+            score = rescorer.score(r.window)
+            value = score.ratio if engine.config.use_normalized else score.mi
+            stats.stitch_rescores += 1
+            scored.append(
+                (WindowResult(window=r.window, mi=score.mi, nmi=score.nmi), value)
+            )
+        stats.windows_evaluated += rescorer.evaluations
+        accepted.insert_prioritized(scored)
+
+    stats.runtime_seconds = time.perf_counter() - started
+    return TycosResult(windows=accepted.results(), stats=stats)
+
+
+def search_segmented(
+    x: AnyArray,
+    y: AnyArray,
+    config: Optional[TycosConfig] = None,
+    *,
+    engine: Optional[Tycos] = None,
+    n_segments: Optional[int] = None,
+    n_jobs: int = 1,
+    use_shared_memory: bool = True,
+) -> TycosResult:
+    """Search one pair with its timeline sharded into parallel segments.
+
+    The public entry point is ``Tycos.search(..., n_segments=, n_jobs=)``,
+    which delegates here; call this directly to reach the transport knob
+    or to drive a preconfigured engine.
+
+    Args:
+        x: first time series.
+        y: second time series (same length).
+        config: search parameters (ignored when ``engine`` is given).
+        engine: optional preconfigured engine whose variant flags and
+            overlap policy the segments inherit (default: TYCOS_LMN over
+            ``config``).
+        n_segments: number of overlapping timeline spans (default:
+            ``config.n_segments``).  The series may be too short to
+            support that many distinct spans, in which case fewer run --
+            ``stats.segments`` records the actual count.
+        n_jobs: worker processes for the spans (``-1``: all cores).  1
+            runs the sequential reference stitcher in-process; any other
+            count returns a bit-identical result.
+        use_shared_memory: ship the jittered pair to the workers through
+            one shared-memory block (the default) rather than pickling it
+            into every worker.
+
+    Returns:
+        A :class:`~repro.core.tycos.TycosResult` whose ``stats`` carry
+        ``segments`` / ``stitch_dedups`` / ``stitch_rescores`` on top of
+        the summed per-segment counters.
+
+    Raises:
+        ValueError: when neither ``config`` nor ``engine`` is given.
+    """
+    if engine is None:
+        if config is None:
+            raise ValueError("search_segmented needs a config or an engine")
+        engine = Tycos(config)
+    cfg = engine.config
+    segments = cfg.n_segments if n_segments is None else n_segments
+    if segments < 1:
+        raise ValueError(f"n_segments must be >= 1, got {segments}")
+    started = time.perf_counter()
+    pair = PairView(x, y, jitter=cfg.jitter, seed=cfg.seed)
+    spans = segment_spans(pair.n, segments, cfg.segment_overlap())
+    seg_engine = _segment_engine(engine)
+    workers = min(resolve_n_jobs(n_jobs), len(spans))
+    if workers <= 1:
+        per_segment = [
+            _search_span(seg_engine, pair.x, pair.y, lo, hi) for lo, hi in spans
+        ]
+    else:
+        per_segment = _run_segments_parallel(
+            seg_engine, pair, spans, workers, use_shared_memory
+        )
+    return _stitch(engine, pair, spans, per_segment, started)

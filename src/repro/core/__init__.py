@@ -7,6 +7,7 @@ from repro.core.neighborhood import Neighbor, neighborhood
 from repro.core.noise import NoiseDetector, find_initial_window, is_noise
 from repro.core.results import OverlapPolicy, ResultSet, WindowResult, merge_overlapping
 from repro.core.search_space import enumerate_feasible, exact_count, paper_count
+from repro.core.segmentation import overlap_zones, segment_spans, span_containing
 from repro.core.thresholds import (
     BatchScorer,
     IncrementalScorer,
@@ -53,6 +54,9 @@ __all__ = [
     "enumerate_feasible",
     "exact_count",
     "paper_count",
+    "segment_spans",
+    "overlap_zones",
+    "span_containing",
     "BatchScorer",
     "IncrementalScorer",
     "WindowScore",

@@ -70,6 +70,19 @@ class TycosConfig:
             built per cluster, as before).  Memory per entry is
             O(u^2) float64 for the cached span, so the bound matters on
             big inputs; 8 covers a typical LAHC delay trajectory.
+        n_segments: number of timeline segments a single-pair search is
+            sharded into (:mod:`repro.analysis.segmented`).  1 (the
+            default) keeps the classic whole-series restart loop; larger
+            values split ``[0, n)`` into that many overlapping spans, run
+            an independent restart loop per span, and stitch the results
+            deterministically.  Segments can execute in parallel
+            (``Tycos.search(..., n_jobs=)``), which is the only way one
+            huge pair can use more than one core.
+        segment_margin: extra overlap between consecutive segments on top
+            of the ``s_max + td_max`` the containment lemma requires
+            (:mod:`repro.core.segmentation`).  Defaults to ``s_min`` so
+            noise probes and LAHC rings near a window's footprint keep
+            some context past it.
         init_delay_step: stride of the coarse delay grid probed when
             choosing an initial window (default ``max(1, s_min // 2)``).
             Algorithm 1 seeds the search at delay 0 only, but the MI
@@ -98,6 +111,8 @@ class TycosConfig:
     use_digamma_table: bool = True
     use_sorted_marginals: bool = True
     workspace_cache_size: int = 8
+    n_segments: int = 1
+    segment_margin: Optional[int] = None
     init_delay_step: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -136,6 +151,10 @@ class TycosConfig:
             raise ValueError(
                 f"workspace_cache_size must be >= 0, got {self.workspace_cache_size}"
             )
+        if self.n_segments < 1:
+            raise ValueError(f"n_segments must be >= 1, got {self.n_segments}")
+        if self.segment_margin is not None and self.segment_margin < 0:
+            raise ValueError(f"segment_margin must be >= 0, got {self.segment_margin}")
 
     @property
     def epsilon(self) -> float:
@@ -156,6 +175,18 @@ class TycosConfig:
             grid.add(-tau)
             tau += step
         return sorted(grid)
+
+    def segment_overlap(self) -> int:
+        """Overlap (samples) between consecutive timeline segments.
+
+        ``s_max + td_max`` is the largest footprint a feasible window can
+        have, so that much overlap makes every feasible window fully
+        contained in at least one segment (the containment lemma of
+        :mod:`repro.core.segmentation`); ``segment_margin`` (default
+        ``s_min``) adds working context on top.
+        """
+        margin = self.segment_margin if self.segment_margin is not None else self.s_min
+        return self.s_max + self.td_max + margin
 
     def scaled(self, **changes: Any) -> "TycosConfig":
         """A copy with some fields replaced (convenience for sweeps)."""

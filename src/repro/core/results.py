@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.window import TimeDelayWindow
 
@@ -97,6 +97,35 @@ class ResultSet:
             self._items = [r for r in self._items if r not in conflicting]
         self._items.append(result)
         return True
+
+    def insert_prioritized(self, items: Iterable[Tuple[WindowResult, float]]) -> int:
+        """Insert many scored results in fixed ``(score, start, delay)`` priority.
+
+        The segmented-search stitcher collects candidates from segments
+        that finish in arbitrary order; inserting them as they arrive
+        would make conflict resolution depend on scheduling.  Sorting by
+        descending score with ``(start, delay, end)`` as the tie-break
+        fixes the priority, so the surviving set is identical no matter
+        which segment produced a candidate first (ties are kept
+        first-wins by :meth:`insert`'s ``value <= best_existing`` test).
+
+        Returns:
+            The number of candidates that ended up in the set.
+        """
+        ordered = sorted(
+            items,
+            key=lambda item: (
+                -item[1],
+                item[0].window.start,
+                item[0].window.delay,
+                item[0].window.end,
+            ),
+        )
+        inserted = 0
+        for result, value in ordered:
+            if self.insert(result, value):
+                inserted += 1
+        return inserted
 
     def windows(self) -> List[TimeDelayWindow]:
         """The accepted windows in start order."""

@@ -92,6 +92,16 @@ class BatchScorer:
         self.workspace_builds = 0
         self.workspace_hits = 0
 
+    @property
+    def estimator(self) -> KSGEstimator:
+        """The configured KSG estimator (shared digamma table included).
+
+        Exposed so callers needing a raw MI outside the window-score path
+        -- e.g. the permutation significance test -- reuse the scorer's
+        estimator instead of constructing a cold one per window.
+        """
+        return self._estimator
+
     def score(self, window: TimeDelayWindow) -> WindowScore:
         """MI and normalized MI of a window (memoized)."""
         hit = self._cache_get(window.key())

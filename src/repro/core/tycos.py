@@ -67,6 +67,13 @@ class SearchStats:
             batched same-delay clusters (batched scoring only).
         workspace_hits: clusters served from the per-delay workspace LRU
             (``TycosConfig.workspace_cache_size``).
+        segments: timeline segments the search ran over (0 for a classic
+            unsegmented search, the span count for a segmented one; see
+            :mod:`repro.analysis.segmented`).
+        stitch_dedups: duplicate windows dropped by the stitcher because
+            two segments found the same window in an overlap zone.
+        stitch_rescores: overlap-zone windows rescored on the whole
+            series by the stitcher for cross-segment conflict resolution.
         runtime_seconds: wall-clock time of the search.
     """
 
@@ -80,6 +87,9 @@ class SearchStats:
     mi_incremental_updates: int = 0
     workspace_builds: int = 0
     workspace_hits: int = 0
+    segments: int = 0
+    stitch_dedups: int = 0
+    stitch_rescores: int = 0
     runtime_seconds: float = 0.0
 
 
@@ -148,17 +158,44 @@ class Tycos:
 
     # ------------------------------------------------------------------ #
 
-    def search(self, x: AnyArray, y: AnyArray) -> TycosResult:
+    def search(
+        self,
+        x: AnyArray,
+        y: AnyArray,
+        *,
+        n_segments: Optional[int] = None,
+        n_jobs: int = 1,
+    ) -> TycosResult:
         """Find all correlated time delay windows of a pair (Algorithm 1/2).
 
         Args:
             x: first time series.
             y: second time series (same length).
+            n_segments: shard the timeline into this many overlapping
+                segments and run one independent restart loop per segment
+                (default: ``config.n_segments``).  1 is the classic
+                whole-series search; larger values change which restarts
+                are attempted (each segment rescans from its own start)
+                but never lose a feasible window to a boundary -- see the
+                containment lemma in :mod:`repro.core.segmentation`.
+            n_jobs: worker processes for the segments (``-1``: all
+                cores).  1 runs the segments sequentially in-process --
+                the reference stitcher whose output the parallel path
+                reproduces bit-exactly for every worker count.
 
         Returns:
             A :class:`TycosResult` whose windows all score at least
             ``config.sigma`` and respect the overlap policy.
         """
+        segments = self.config.n_segments if n_segments is None else n_segments
+        if segments < 1:
+            raise ValueError(f"n_segments must be >= 1, got {segments}")
+        if segments > 1:
+            from repro.analysis.segmented import search_segmented
+
+            return search_segmented(
+                x, y, engine=self, n_segments=segments, n_jobs=n_jobs
+            )
         started = time.perf_counter()
         cfg = self.config
         pair = PairView(x, y, jitter=cfg.jitter, seed=cfg.seed)
@@ -224,10 +261,10 @@ class Tycos:
             stats.mi_full_searches = scorer.engine.full_searches
             stats.mi_incremental_updates = scorer.engine.incremental_updates
         stats.runtime_seconds = time.perf_counter() - started
-        windows = [
-            WindowResult(window=w, mi=scorer.score(w).mi, nmi=scorer.score(w).nmi)
-            for w, _ in topk.windows()
-        ]
+        windows = []
+        for w, _ in topk.windows():
+            score = scorer.score(w)
+            windows.append(WindowResult(window=w, mi=score.mi, nmi=score.nmi))
         return TycosResult(windows=windows, stats=stats)
 
     # ------------------------------------------------------------------ #
@@ -316,10 +353,11 @@ class Tycos:
         b = self.config.significance_permutations
         if b == 0:
             return True
-        from repro.mi.ksg import KSGEstimator
-
         xw, yw = pair.extract(window)
-        estimator = KSGEstimator(k=self.config.k)
+        # Reuse the scorer's estimator: it already carries the configured
+        # k and the process-wide digamma table, so the permutation MIs
+        # need no cold per-window estimator.
+        estimator = scorer.estimator
         observed = scorer.score(window).mi
         rng = np.random.default_rng(self.config.seed + window.start)
         for _ in range(b):
@@ -340,15 +378,24 @@ class Tycos:
         if scan_from + cfg.s_min - 1 >= n:
             return None
         # Plain variants seed with the best minimal window at scan_from over
-        # the coarse delay grid (see TycosConfig.init_delay_step).
+        # the coarse delay grid (see TycosConfig.init_delay_step), scored in
+        # one batched pass; ties keep the earliest grid delay, exactly as
+        # the scalar loop did.
+        end = scan_from + cfg.s_min - 1
+        candidates = [
+            TimeDelayWindow(start=scan_from, end=end, delay=tau)
+            for tau in cfg.delay_grid()
+            if scan_from + tau >= 0 and end + tau < n
+        ]
+        if not candidates:
+            return None
+        if self.batched_scoring:
+            values = scorer.value_many(candidates)
+        else:
+            values = [scorer.value(cand) for cand in candidates]
         best: Optional[TimeDelayWindow] = None
         best_value = -np.inf
-        for tau in cfg.delay_grid():
-            end = scan_from + cfg.s_min - 1
-            if scan_from + tau < 0 or end + tau >= n:
-                continue
-            cand = TimeDelayWindow(start=scan_from, end=end, delay=tau)
-            value = scorer.value(cand)
+        for cand, value in zip(candidates, values):
             if value > best_value:
                 best, best_value = cand, value
         return best

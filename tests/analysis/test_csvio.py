@@ -78,6 +78,17 @@ class TestCli:
         out = capsys.readouterr().out
         assert "a -> b" in out
 
+    def test_single_pair_segmented(self, csv_file, capsys):
+        code = main([
+            str(csv_file), "--x", "a", "--y", "b",
+            "--sigma", "0.45", "--s-min", "20", "--s-max", "60",
+            "--td-max", "5", "--delay-step", "1", "--n-segments", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "over 2 segments" in out
+        assert "delay=+3" in out
+
     def test_requires_pair_or_all(self, csv_file):
         with pytest.raises(SystemExit):
             main([str(csv_file)])

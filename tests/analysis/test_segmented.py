@@ -1,0 +1,179 @@
+"""Tests for the segmented intra-pair search and its deterministic stitch.
+
+The contract under test: for any fixed ``n_segments`` the process-pool
+path reproduces the sequential reference stitcher bit-exactly (same
+windows, same MI/NMI floats, same order), and ``n_segments=1`` reproduces
+the classic whole-series search exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.segmented import search_segmented
+from repro.core.config import TycosConfig
+from repro.core.segmentation import segment_spans
+from repro.core.tycos import Tycos
+from repro.core.window import TimeDelayWindow
+from repro.experiments.similarity import detects
+
+
+def _config(**kwargs):
+    defaults = dict(
+        sigma=0.3,
+        s_min=8,
+        s_max=60,
+        td_max=10,
+        jitter=1e-6,
+        init_delay_step=1,
+        significance_permutations=10,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return TycosConfig(**defaults)
+
+
+def _coupled_pair(rng, n=900):
+    """Noise with several delayed-copy episodes scattered along the pair."""
+    x = rng.uniform(0, 1, n)
+    y = rng.uniform(0, 1, n)
+    for start, m, delay in ((60, 70, 4), (330, 90, -3), (640, 80, 6)):
+        seg = rng.uniform(0, 1, m)
+        x[start : start + m] = seg
+        y[start + delay : start + delay + m] = seg + 0.01 * rng.normal(size=m)
+    return x, y
+
+
+def _signature(result):
+    """Everything the byte-identical contract covers, in order."""
+    return [(r.window.key(), r.mi, r.nmi) for r in result.windows]
+
+
+class TestSingleSegmentEquivalence:
+    def test_n_segments_1_matches_plain_search(self, rng):
+        x, y = _coupled_pair(rng)
+        cfg = _config()
+        plain = Tycos(cfg).search(x, y)
+        seg = search_segmented(x, y, cfg, n_segments=1)
+        assert _signature(seg) == _signature(plain)
+        assert seg.stats.segments == 1
+        assert seg.stats.stitch_dedups == 0
+        assert seg.stats.stitch_rescores == 0
+
+
+class TestSequentialParallelEquivalence:
+    @pytest.mark.parametrize("n_segments", [2, 4, 7])
+    def test_parallel_matches_sequential_reference(self, rng, n_segments):
+        x, y = _coupled_pair(rng)
+        cfg = _config()
+        reference = search_segmented(x, y, cfg, n_segments=n_segments, n_jobs=1)
+        parallel = search_segmented(x, y, cfg, n_segments=n_segments, n_jobs=2)
+        assert _signature(parallel) == _signature(reference)
+        assert parallel.stats.segments == reference.stats.segments
+        assert parallel.stats.stitch_dedups == reference.stats.stitch_dedups
+        assert parallel.stats.stitch_rescores == reference.stats.stitch_rescores
+
+    def test_pickle_transport_matches_shared_memory(self, rng):
+        x, y = _coupled_pair(rng)
+        cfg = _config()
+        shm = search_segmented(x, y, cfg, n_segments=2, n_jobs=2)
+        pickled = search_segmented(
+            x, y, cfg, n_segments=2, n_jobs=2, use_shared_memory=False
+        )
+        assert _signature(pickled) == _signature(shm)
+
+
+class TestBoundaryContainment:
+    def test_window_straddling_segment_edge_is_found(self, rng):
+        """A planted relation astride the seam proves the containment lemma.
+
+        With n=800 and two segments the spans are (0, 453) and (348, 800)
+        (overlap zone [348, 453)); the relation planted at x[370:441] /
+        y[373:444] straddles the midpoint 400 and is whole only thanks to
+        the overlap.
+        """
+        cfg = TycosConfig(
+            sigma=0.5,
+            s_min=20,
+            s_max=80,
+            td_max=5,
+            jitter=1e-6,
+            init_delay_step=1,
+            significance_permutations=10,
+            seed=0,
+        )
+        n = 800
+        spans = segment_spans(n, 2, cfg.segment_overlap())
+        assert spans == [(0, 453), (348, 800)]
+        x = rng.uniform(0, 1, n)
+        y = rng.uniform(0, 1, n)
+        seg = rng.uniform(0, 1, 71)
+        x[370:441] = seg
+        y[373:444] = seg + 0.01 * rng.normal(size=71)
+        result = search_segmented(x, y, cfg, n_segments=2)
+        found = [r.window for r in result.windows]
+        assert detects(found, TimeDelayWindow(370, 440, delay=3))
+
+
+class TestStitchAccounting:
+    def test_stats_track_segments_and_stitch_work(self, rng):
+        x, y = _coupled_pair(rng)
+        result = search_segmented(x, y, _config(), n_segments=4)
+        assert result.stats.segments == 4
+        assert result.stats.stitch_rescores >= result.stats.stitch_dedups >= 0
+        assert result.stats.windows_evaluated > 0
+        assert result.stats.restarts > 0
+
+    def test_short_series_runs_fewer_segments(self, rng):
+        cfg = _config()
+        n = cfg.segment_overlap() - 5  # shorter than one overlap: single span
+        x = rng.uniform(0, 1, n)
+        y = rng.uniform(0, 1, n)
+        result = search_segmented(x, y, cfg, n_segments=8)
+        assert result.stats.segments == 1
+
+    def test_rescored_windows_have_finite_scores(self, rng):
+        x, y = _coupled_pair(rng)
+        result = search_segmented(x, y, _config(), n_segments=4)
+        for r in result.windows:
+            assert np.isfinite(r.mi)
+            assert np.isfinite(r.nmi)
+
+
+class TestEntryPoints:
+    def test_tycos_search_delegates_on_n_segments(self, rng):
+        x, y = _coupled_pair(rng)
+        cfg = _config()
+        direct = search_segmented(x, y, cfg, n_segments=3)
+        via_engine = Tycos(cfg).search(x, y, n_segments=3)
+        assert _signature(via_engine) == _signature(direct)
+        assert via_engine.stats.segments == direct.stats.segments
+
+    def test_config_driven_segmentation(self, rng):
+        x, y = _coupled_pair(rng)
+        cfg = _config(n_segments=3)
+        explicit = search_segmented(x, y, _config(), n_segments=3)
+        implicit = Tycos(cfg).search(x, y)
+        assert _signature(implicit) == _signature(explicit)
+
+    def test_rejects_bad_segment_count(self, rng):
+        x = rng.uniform(0, 1, 200)
+        y = rng.uniform(0, 1, 200)
+        with pytest.raises(ValueError, match="n_segments"):
+            Tycos(_config()).search(x, y, n_segments=0)
+        with pytest.raises(ValueError, match="n_segments"):
+            search_segmented(x, y, _config(), n_segments=-2)
+
+    def test_requires_config_or_engine(self, rng):
+        x = rng.uniform(0, 1, 200)
+        y = rng.uniform(0, 1, 200)
+        with pytest.raises(ValueError, match="config or an engine"):
+            search_segmented(x, y)
+
+    def test_engine_variant_flags_inherited(self, rng):
+        """A non-default engine's flags survive segmentation untouched."""
+        x, y = _coupled_pair(rng)
+        cfg = _config()
+        engine = Tycos(cfg, use_noise=False, use_incremental=False)
+        reference = engine.search(x, y)
+        seg = search_segmented(x, y, engine=engine, n_segments=1)
+        assert _signature(seg) == _signature(reference)

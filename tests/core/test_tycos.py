@@ -102,6 +102,18 @@ class TestDeterminism:
         assert [r.window for r in a.windows] == [r.window for r in b.windows]
 
 
+class TestBatchedSeeding:
+    def test_plain_variant_seeding_matches_scalar_path(self):
+        """Batched delay-grid seeding is a pure perf change for TYCOS_L."""
+        x, y = _planted_pair()
+        cfg = _config()
+        batched = Tycos(cfg, use_noise=False, batched_scoring=True).search(x, y)
+        scalar = Tycos(cfg, use_noise=False, batched_scoring=False).search(x, y)
+        assert [(r.window, r.mi, r.nmi) for r in batched.windows] == [
+            (r.window, r.mi, r.nmi) for r in scalar.windows
+        ]
+
+
 class TestStats:
     def test_stats_populated(self):
         x, y = _planted_pair()
