@@ -6,6 +6,9 @@
   pool with shared-memory series transfer.
 * :mod:`repro.analysis.segmented` -- shard one pair's timeline into
   overlapping segments searched in parallel and stitched deterministically.
+* :mod:`repro.analysis.multiscale` -- coarse-to-fine search: locate
+  structure on a PAA-downsampled level, refine only the promising cells
+  at full resolution.
 * :mod:`repro.analysis.chunked` -- chunked search over series too long for
   one in-memory pass.
 * :mod:`repro.analysis.csvio` -- CSV ingestion and the ``tycos-search``
@@ -28,6 +31,7 @@ from repro.analysis.pairwise import (
     prefilter_score,
     scan_pairs,
 )
+from repro.analysis.multiscale import search_multiscale
 from repro.analysis.parallel import scan_pairs_parallel
 from repro.analysis.segmented import search_segmented
 from repro.analysis.serialization import (
@@ -46,6 +50,7 @@ __all__ = [
     "PairFailure",
     "prefilter_score",
     "search_segmented",
+    "search_multiscale",
     "search_chunked",
     "chunk_pair",
     "default_chunk_overlap",

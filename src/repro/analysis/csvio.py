@@ -8,6 +8,7 @@ a full pairwise scan from the command line::
     tycos-search data.csv --x temperature --y consumption --sigma 0.3
     tycos-search plugs.csv --all-pairs --td-max 48 --s-max 240
     tycos-search long.csv --x a --y b --n-segments 4 --n-jobs 4
+    tycos-search long.csv --x a --y b --coarse-factor 8 --profile
 
 Only the standard library's ``csv`` module is used -- no dataframe
 dependency.
@@ -26,7 +27,7 @@ import numpy as np
 from repro._types import FloatArray
 from repro.analysis.pairwise import scan_pairs
 from repro.core.config import TycosConfig
-from repro.core.tycos import Tycos
+from repro.core.tycos import SearchStats, Tycos
 
 __all__ = ["read_csv_series", "main"]
 
@@ -93,7 +94,39 @@ def _build_config(args: argparse.Namespace) -> TycosConfig:
         seed=args.seed,
         init_delay_step=args.delay_step,
         n_segments=args.n_segments,
+        coarse_factor=args.coarse_factor,
+        refine_margin=args.refine_margin,
     )
+
+
+#: Display order of --profile phases: stage walls first (coarse pre-pass,
+#: full-resolution refinement), then the restart-loop breakdown, then the
+#: segment stitch.  ``coarse``/``refine`` are stage walls that *contain*
+#: seeding/scoring/lahc time of their stage, so the rows are a profile,
+#: not a partition.
+_PROFILE_ORDER = ["coarse", "refine", "seeding", "lahc", "scoring", "stitch"]
+
+
+def _print_profile(stats: SearchStats) -> None:
+    """Render the per-phase wall-time breakdown of one search."""
+    phases = dict(stats.phase_seconds)
+    if not phases:
+        print("profile: no phase timings recorded")
+        return
+    total = stats.runtime_seconds or sum(phases.values())
+    print(f"profile ({total:.2f}s wall):")
+    ordered = [p for p in _PROFILE_ORDER if p in phases]
+    ordered += sorted(p for p in phases if p not in _PROFILE_ORDER)
+    for phase in ordered:
+        seconds = phases[phase]
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        print(f"  {phase:<8} {seconds:8.3f}s  {share:5.1f}%")
+    if stats.coarse_windows_evaluated:
+        print(
+            f"  pruning: {stats.coarse_windows_evaluated} coarse evaluations kept "
+            f"{stats.refined_cells} cells, pruned {stats.cells_pruned} tiles; "
+            f"{stats.full_windows_evaluated} full-resolution evaluations"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -129,10 +162,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="shard a single pair's timeline into this many overlapping "
              "segments searched independently and stitched (default: 1)",
     )
+    parser.add_argument(
+        "--coarse-factor", type=int, default=1,
+        help="PAA aggregation factor of the coarse-to-fine pre-pass: first "
+             "locate structure on a 1/N-resolution level, then refine only "
+             "the promising regions at full resolution (default: 1, i.e. "
+             "exhaustive; reported scores are always full-resolution)",
+    )
+    parser.add_argument(
+        "--refine-margin", type=int, default=None,
+        help="full-resolution samples added around each coarse hit before "
+             "refinement (default: s_max + td_max, one maximal window "
+             "footprint)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a per-phase wall-time breakdown of the search "
+             "(single-pair mode only)",
+    )
     args = parser.parse_args(argv)
 
     if not args.all_pairs and not (args.x and args.y):
         parser.error("either --all-pairs or both --x and --y are required")
+    if args.profile and args.all_pairs:
+        parser.error("--profile needs single-pair mode (--x/--y)")
 
     config = _build_config(args)
     if args.all_pairs:
@@ -146,12 +199,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     series = read_csv_series(args.csv, columns=[args.x, args.y])
     result = Tycos(config).search(series[args.x], series[args.y], n_jobs=args.n_jobs)
     segmented = f" over {result.stats.segments} segments" if result.stats.segments else ""
+    coarse = (
+        f", {result.stats.coarse_windows_evaluated} coarse"
+        if result.stats.coarse_windows_evaluated
+        else ""
+    )
     print(f"{len(result.windows)} correlated windows "
-          f"({result.stats.windows_evaluated} evaluated{segmented}, "
+          f"({result.stats.windows_evaluated} evaluated{coarse}{segmented}, "
           f"{result.stats.runtime_seconds:.2f}s)")
     for r in result.windows:
         w = r.window
         print(f"  [{w.start}, {w.end}] delay={w.delay:+d} nmi={r.nmi:.2f} mi={r.mi:.3f}")
+    if result.stats.serial_fallback:
+        print("(note: n_jobs served serially: 1-core host, pool dispatch "
+              "would only add overhead)")
+    if args.profile:
+        _print_profile(result.stats)
     return 0
 
 

@@ -1,0 +1,316 @@
+"""Coarse-to-fine multi-scale search: prune at low resolution, score at full.
+
+After the kernel work of PRs 2-4 the dominant cost of a search is *how
+many* full-resolution KSG estimates it makes, not how fast each one is.
+This module attacks that count with a two-stage search:
+
+1. **Coarse pre-pass.**  The jittered pair is PAA-downsampled by
+   ``coarse_factor`` (:mod:`repro.core.pyramid`) and the unchanged LAHC
+   restart loop runs on the coarse level under a *relaxed* threshold
+   (``sigma * coarse_sigma_ratio`` -- block-mean aggregation dilutes MI,
+   so the coarse pass must under-bid to avoid false dismissals; KSG
+   estimates are rank-stable under this kind of sample reduction, which
+   is what makes a coarse ranking trustworthy as a *locator*).
+2. **Restricted-scan refinement.**  Each coarse hit maps -- exactly, via
+   the pyramid containment lemma -- to a full-resolution
+   ``(region, delay band)`` :class:`~repro.core.pyramid.RefinementCell`,
+   expanded by ``refine_margin`` to absorb coarse LAHC positioning
+   error; overlapping cells merge.  Then **the plain full-resolution
+   search itself** runs over the whole pair -- same scorer, same seeds,
+   same LAHC, same delay grid -- with one change: restart positions that
+   fall outside every cell are skipped, jumping the scan to the next
+   cell while preserving the restart phase (``scan_from mod s_min``).
+   Everything outside the surviving cells is never probed at full
+   resolution; ``stats.cells_pruned`` counts what was skipped and
+   ``stats.full_windows_evaluated`` is the quantity the pruning ratio
+   is measured on.
+
+**Why the surviving windows are bit-identical to exhaustive search.**
+The refinement is not a rescored approximation of the plain search --
+it *is* the plain search minus some restarts.  Every restart is a pure
+function of its scan position: the seed probe, the noise walk, the LAHC
+history generator (seeded per-restart from ``(config.seed,
+scan_from)``), and every candidate score are computed against the same
+whole-pair scorer the exhaustive search uses.  For the plain-seeded
+variants (``use_noise=False``) a restart in a quiet region always
+advances the scan by exactly ``s_min``, so the scan phase is invariant
+across a pruned gap and the phase-preserving jump lands the refinement
+on *precisely* the scan positions the exhaustive search would reach --
+the two searches then execute identical restart sequences wherever it
+matters.  Exhaustive and multiscale results can therefore differ only
+if the exhaustive search *accepts a window from a restart seeded inside
+a pruned region*, i.e. only if the coarse level missed structure
+entirely (the recall trade ``coarse_factor`` / ``coarse_sigma_ratio``
+tune) -- never by windows shifting or scores drifting.  For the noise
+variants (``use_noise=True``) the Section-6 initial-window walk crosses
+pruned gaps with data-dependent strides, so the same guarantee is
+empirical rather than structural; the walk's block grid keeps the same
+phase invariant, which in practice keeps the restart sequences aligned.
+
+Determinism and composition mirror :mod:`repro.analysis.segmented`:
+jitter is applied once to the whole pair before the pyramid is built,
+so the coarse level and the refinement see the same samples; the coarse
+pre-pass composes with segmentation (``n_segments``) and the process
+pool (``n_jobs``), while the refinement is sequential *by design* --
+its restart phase chains through the timeline, which is exactly what
+makes it reproduce the exhaustive scan.  With the default margin (one
+maximal window footprint, ``s_max + td_max``) the tracked benchmark
+recovers 100% of the exhaustive search's findings at identical scores
+while evaluating a fraction of the windows (``BENCH_PR5.json``);
+``coarse_factor=1`` bypasses both stages and reproduces plain
+``Tycos.search`` byte-exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro._types import AnyArray
+from repro.analysis.segmented import search_segmented
+from repro.core.config import TycosConfig
+from repro.core.pyramid import RefinementCell, build_level, coarse_config, refinement_cell
+from repro.core.tycos import Tycos, TycosResult
+from repro.core.window import PairView
+
+__all__ = ["search_multiscale"]
+
+
+def _refine_engine(engine: Tycos) -> Tycos:
+    """The full-resolution engine the restricted scan runs.
+
+    Jitter is already applied to the whole pair, and the refinement must
+    never recurse into segmentation or another coarse-to-fine pre-pass.
+    Everything else -- variant flags, overlap policy, delay band, the
+    significance gate -- is inherited unchanged, because the refinement
+    has to *be* the exhaustive search on the regions it visits.
+    """
+    return Tycos(
+        engine.config.scaled(
+            jitter=0.0, n_segments=1, coarse_factor=1, refine_margin=None
+        ),
+        use_noise=engine.use_noise,
+        use_incremental=engine.use_incremental,
+        overlap_policy=engine.overlap_policy,
+        batched_scoring=engine.batched_scoring,
+    )
+
+
+def _cell_scan_hook(
+    cells: Sequence[RefinementCell], s_min: int
+) -> Callable[[int], Optional[int]]:
+    """The restart filter of the restricted scan.
+
+    Maps each prospective scan position to the next allowed one: inside
+    a cell the position passes through untouched; in a pruned gap the
+    scan jumps forward in whole ``s_min`` strides -- the exact strides
+    the exhaustive search's failed restarts would take -- until it lands
+    in a cell again, so the restart phase (``scan_from mod s_min``) is
+    preserved across every gap.  ``None`` past the last cell ends the
+    scan.
+    """
+    ordered = sorted(cells, key=lambda c: (c.lo, c.hi))
+
+    def hook(scan_from: int) -> Optional[int]:
+        for cell in ordered:
+            if scan_from >= cell.hi:
+                continue
+            if scan_from >= cell.lo:
+                return scan_from
+            strides = -(-(cell.lo - scan_from) // s_min)
+            scan_from += strides * s_min
+            if scan_from < cell.hi:
+                return scan_from
+            # The phase-aligned entry overshot this (tiny) cell; keep the
+            # advanced position and try the next cell.
+        return None
+
+    return hook
+
+
+def _merge_cells(cells: Sequence[RefinementCell]) -> List[RefinementCell]:
+    """Coalesce cells with overlapping (or touching) regions.
+
+    Merging unions both the region and the delay band, so a merged cell
+    still contains everything its parts contained; it exists to stop two
+    near-identical coarse hits from keeping the scan in the same stretch
+    of timeline twice.
+    """
+    ordered = sorted(cells, key=lambda c: (c.lo, c.hi, c.delay_lo, c.delay_hi))
+    merged: List[RefinementCell] = []
+    for cell in ordered:
+        if merged and cell.lo <= merged[-1].hi:
+            merged[-1] = merged[-1].merge(cell)
+        else:
+            merged.append(cell)
+    return merged
+
+
+def _pruning_accounts(
+    merged: Sequence[RefinementCell], n: int, config: TycosConfig
+) -> Tuple[int, int]:
+    """(refined, pruned) counts over maximal-footprint timeline tiles.
+
+    The timeline is measured in tiles of ``s_max + td_max`` samples (one
+    maximal window footprint).  A tile intersecting no refinement cell
+    was pruned: the exhaustive search would have scanned it, the
+    multiscale search never touches it at full resolution.
+    """
+    tile = max(1, config.s_max + config.td_max)
+    total = max(1, -(-n // tile))
+    covered = set()
+    for cell in merged:
+        first = cell.lo // tile
+        last = min(total - 1, (max(cell.lo, cell.hi - 1)) // tile)
+        covered.update(range(first, last + 1))
+    return len(merged), total - len(covered)
+
+
+def search_multiscale(
+    x: AnyArray,
+    y: AnyArray,
+    config: Optional[TycosConfig] = None,
+    *,
+    engine: Optional[Tycos] = None,
+    coarse_factor: Optional[int] = None,
+    refine_margin: Optional[int] = None,
+    n_segments: Optional[int] = None,
+    n_jobs: int = 1,
+    use_shared_memory: bool = True,
+    force_parallel: bool = False,
+) -> TycosResult:
+    """Search one pair coarse-to-fine: locate on a PAA level, refine exactly.
+
+    The public entry point is ``Tycos.search(..., coarse_factor=N)``,
+    which delegates here; call this directly to reach the transport knob
+    or to drive a preconfigured engine.
+
+    Args:
+        x: first time series.
+        y: second time series (same length).
+        config: search parameters (ignored when ``engine`` is given).
+        engine: optional preconfigured engine whose variant flags and
+            overlap policy both stages inherit (default: TYCOS_LMN over
+            ``config``).
+        coarse_factor: PAA samples per coarse cell (default:
+            ``config.coarse_factor``).  1 bypasses both stages and
+            reproduces the plain search byte-exactly.
+        refine_margin: full-resolution samples added on each side of a
+            coarse hit's footprint (default:
+            ``config.refinement_margin()``, i.e. ``s_max + td_max``).
+            The margin is the refinement's warm-up zone: the restricted
+            scan replicates the exhaustive search's restarts throughout
+            it, so an exhaustive restart would have to carry an
+            acceptance across a full maximal-window footprint of pruned
+            noise before the two searches could disagree.  Smaller
+            margins prune harder and weaken that guarantee.
+        n_segments: shard the *coarse* pre-pass into this many
+            overlapping segments (default: ``config.n_segments``),
+            composing the pre-pass with :mod:`repro.analysis.segmented`.
+        n_jobs: worker processes for the coarse segments (``-1``: all
+            cores).  The refinement stage is sequential by design: its
+            restart phase chains through the timeline, which is what
+            makes it reproduce the exhaustive scan's restart sequence.
+        use_shared_memory: ship coarse segments to pool workers through
+            one shared-memory block (the default) rather than pickling.
+        force_parallel: run pools even on a 1-core host, where the
+            default is the serial fallback recorded in
+            ``stats.serial_fallback``.
+
+    Returns:
+        A :class:`~repro.core.tycos.TycosResult` whose windows carry
+        full-resolution scores bit-identical to the exhaustive search's,
+        and whose ``stats`` expose the pruning ledger:
+        ``coarse_windows_evaluated`` / ``refined_cells`` /
+        ``cells_pruned`` / ``full_windows_evaluated`` plus per-phase
+        wall time in ``phase_seconds`` (``coarse`` and ``refine`` are
+        stage walls; ``seeding`` / ``scoring`` / ``lahc`` break the
+        refinement stage down).
+
+    Raises:
+        ValueError: when neither ``config`` nor ``engine`` is given.
+    """
+    if engine is None:
+        if config is None:
+            raise ValueError("search_multiscale needs a config or an engine")
+        engine = Tycos(config)
+    cfg = engine.config
+    factor = cfg.coarse_factor if coarse_factor is None else coarse_factor
+    if factor < 1:
+        raise ValueError(f"coarse_factor must be >= 1, got {factor}")
+    segments = cfg.n_segments if n_segments is None else n_segments
+    if segments < 1:
+        raise ValueError(f"n_segments must be >= 1, got {segments}")
+    margin = cfg.refinement_margin() if refine_margin is None else refine_margin
+    if margin < 0:
+        raise ValueError(f"refine_margin must be >= 0, got {margin}")
+
+    if factor == 1:
+        flat = Tycos(
+            cfg.scaled(coarse_factor=1, refine_margin=None),
+            use_noise=engine.use_noise,
+            use_incremental=engine.use_incremental,
+            overlap_policy=engine.overlap_policy,
+            batched_scoring=engine.batched_scoring,
+        )
+        return flat.search(x, y, n_segments=segments, n_jobs=n_jobs)
+
+    started = time.perf_counter()
+    pair = PairView(x, y, jitter=cfg.jitter, seed=cfg.seed)
+    n = pair.n
+    c_cfg = coarse_config(cfg, factor)
+    level = build_level(pair, factor)
+    refine_engine = _refine_engine(engine)
+    if level.n < 2 * c_cfg.s_min:
+        # A coarse level that cannot even fit two minimal windows cannot
+        # locate anything: nothing to prune, search exhaustively.
+        result = refine_engine.search(pair.x, pair.y)
+        result.stats.runtime_seconds = time.perf_counter() - started
+        return result
+
+    c_engine = Tycos(
+        c_cfg,
+        use_noise=engine.use_noise,
+        use_incremental=engine.use_incremental,
+        overlap_policy=engine.overlap_policy,
+        batched_scoring=engine.batched_scoring,
+    )
+    coarse_started = time.perf_counter()
+    if segments > 1:
+        coarse = search_segmented(
+            level.x,
+            level.y,
+            engine=c_engine,
+            n_segments=segments,
+            n_jobs=n_jobs,
+            use_shared_memory=use_shared_memory,
+            force_parallel=force_parallel,
+        )
+    else:
+        coarse = c_engine.search(level.x, level.y)
+    coarse_seconds = time.perf_counter() - coarse_started
+
+    cells = [
+        refinement_cell(r.window, factor, n, cfg.td_max, margin)
+        for r in coarse.windows
+    ]
+    merged = _merge_cells(cells)
+
+    refine_started = time.perf_counter()
+    refined = refine_engine._search_whole(
+        pair.x, pair.y, scan_hook=_cell_scan_hook(merged, cfg.s_min)
+    )
+    refine_seconds = time.perf_counter() - refine_started
+
+    # The refinement's stats already describe all full-resolution work
+    # (its scorer saw every probe); layer the coarse ledger on top.
+    stats = refined.stats
+    stats.segments = coarse.stats.segments
+    stats.serial_fallback = coarse.stats.serial_fallback
+    stats.coarse_windows_evaluated = coarse.stats.windows_evaluated
+    stats.windows_evaluated += coarse.stats.windows_evaluated
+    stats.refined_cells, stats.cells_pruned = _pruning_accounts(merged, n, cfg)
+    stats.add_phase("coarse", coarse_seconds)
+    stats.add_phase("refine", refine_seconds)
+    stats.runtime_seconds = time.perf_counter() - started
+    return TycosResult(windows=refined.windows, stats=stats)

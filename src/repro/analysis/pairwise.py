@@ -76,11 +76,18 @@ class PairFailure:
 
 @dataclass
 class PairwiseReport:
-    """Ranked findings of a pairwise scan."""
+    """Ranked findings of a pairwise scan.
+
+    ``notes`` records execution advisories that don't affect the results
+    themselves -- e.g. that a parallel request was served serially on a
+    single-core host -- so a scan's performance is attributable from the
+    report alone.
+    """
 
     findings: List[PairFinding] = field(default_factory=list)
     skipped: List[Tuple[str, str]] = field(default_factory=list)
     failures: List[PairFailure] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
 
     def correlated(self) -> List[PairFinding]:
         """Pairs with at least one extracted window, strongest first."""
@@ -104,7 +111,8 @@ class PairwiseReport:
         body = format_table(headers, rows)
         skipped = f"\n({len(self.skipped)} pairs skipped by the pre-filter)" if self.skipped else ""
         failed = f"\n({len(self.failures)} pairs failed; see report.failures)" if self.failures else ""
-        return title("Pairwise correlation scan") + "\n" + body + skipped + failed
+        notes = "".join(f"\n(note: {note})" for note in self.notes)
+        return title("Pairwise correlation scan") + "\n" + body + skipped + failed + notes
 
 
 def prefilter_score(

@@ -23,6 +23,7 @@ transfer cost exactly once:
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -39,10 +40,13 @@ from repro.core.tycos import Tycos
 __all__ = [
     "scan_pairs_parallel",
     "resolve_n_jobs",
+    "effective_workers",
     "pack_series",
     "attach_series",
     "attach_untracked",
 ]
+
+logger = logging.getLogger(__name__)
 
 # One (name, offset, length) entry per series inside the shared block,
 # offsets in *elements* of float64.
@@ -71,6 +75,40 @@ def resolve_n_jobs(n_jobs: int) -> int:
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
     return n_jobs
+
+
+def effective_workers(
+    n_jobs: int, n_tasks: int, *, force_parallel: bool = False, what: str = "scan"
+) -> Tuple[int, bool]:
+    """Resolve a fan-out's worker count, with the single-core fallback.
+
+    Clamps the :func:`resolve_n_jobs` request to the task count (idle
+    workers still pay pool spin-up), then -- when the host has exactly
+    one CPU and more than one worker survived the clamp -- falls back to
+    one worker: on a single core a process pool adds dispatch and
+    unpickling overhead without adding CPU time (the tracked
+    ``BENCH_PR4.json`` measured n_jobs=2 at 0.93x serial on a 1-core
+    host).  The fallback is logged and reported to the caller so results
+    stay attributable; ``force_parallel`` disables it for tests and
+    benchmarks that exercise the pool machinery itself.  Results are
+    unaffected either way: every parallel path reproduces its serial
+    reference bit-exactly.
+
+    Returns:
+        ``(workers, fell_back)`` -- the worker count to use and whether
+        the single-core fallback fired.
+    """
+    workers = min(resolve_n_jobs(n_jobs), max(1, n_tasks))
+    if workers > 1 and not force_parallel and (os.cpu_count() or 1) == 1:
+        logger.warning(
+            "%s requested %d workers on a 1-core host; running serially "
+            "(pool dispatch would only add overhead; pass force_parallel=True "
+            "to override)",
+            what,
+            workers,
+        )
+        return 1, True
+    return workers, False
 
 
 def pack_series(series: Dict[str, FloatArray]) -> Tuple[shared_memory.SharedMemory, _Layout]:
@@ -201,6 +239,7 @@ def scan_pairs_parallel(
     n_jobs: int = -1,
     chunk_size: Optional[int] = None,
     use_shared_memory: bool = True,
+    force_parallel: bool = False,
 ) -> PairwiseReport:
     """Fan a pairwise scan over a process pool.
 
@@ -221,10 +260,14 @@ def scan_pairs_parallel(
             four chunks per worker so stragglers rebalance.
         use_shared_memory: pass series through one shared-memory block
             (the default) rather than pickling them to every worker.
+        force_parallel: run the pool even on a 1-core host, where the
+            default is to fall back to the serial scan (see
+            :func:`effective_workers`).
 
     Returns:
         A :class:`PairwiseReport` identical to the serial scan's: findings,
-        skipped pairs, and failures each in submission order.
+        skipped pairs, and failures each in submission order.  When the
+        single-core fallback fired, ``report.notes`` records it.
     """
     names = list(series)
     lengths = {series[name].size for name in names}
@@ -244,17 +287,25 @@ def scan_pairs_parallel(
 
     # Never spawn more workers than there are pairs: idle workers still
     # pay pool spin-up and engine unpickling, which dominates small scans.
-    workers = min(resolve_n_jobs(n_jobs), max(1, len(pair_list)))
+    workers, fell_back = effective_workers(
+        n_jobs, len(pair_list), force_parallel=force_parallel, what="scan_pairs"
+    )
     if workers == 1 or not pair_list:
         from repro.analysis.pairwise import scan_pairs
 
-        return scan_pairs(
+        report = scan_pairs(
             series,
             config,
             pairs=pair_list,
             prefilter_threshold=prefilter_threshold,
             engine=engine,
         )
+        if fell_back:
+            report.notes.append(
+                f"n_jobs={n_jobs} served serially: 1-core host, pool dispatch "
+                "would only add overhead"
+            )
+        return report
 
     tasks = [(i, s, t) for i, (s, t) in enumerate(pair_list)]
     if chunk_size is None:

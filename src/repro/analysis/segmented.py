@@ -46,8 +46,8 @@ from repro._types import AnyArray, FloatArray, WindowKey
 from repro.analysis.parallel import (
     attach_series,
     attach_untracked,
+    effective_workers,
     pack_series,
-    resolve_n_jobs,
 )
 from repro.core.config import TycosConfig
 from repro.core.results import ResultSet, WindowResult
@@ -72,10 +72,10 @@ def _segment_engine(engine: Tycos) -> Tycos:
 
     Jitter is already applied to the whole pair before slicing (so spans
     share bit-identical samples), and a span search must never recurse
-    into segmentation.
+    into segmentation or a coarse-to-fine pre-pass.
     """
     return Tycos(
-        engine.config.scaled(jitter=0.0, n_segments=1),
+        engine.config.scaled(jitter=0.0, n_segments=1, coarse_factor=1),
         use_noise=engine.use_noise,
         use_incremental=engine.use_incremental,
         overlap_policy=engine.overlap_policy,
@@ -181,6 +181,7 @@ def _stitch(
     one span, and within-span conflicts were already resolved), so they
     are inserted as-is.
     """
+    stitch_started = time.perf_counter()
     stats = SearchStats(segments=len(spans))
     for seg in per_segment:
         s = seg.stats
@@ -194,6 +195,9 @@ def _stitch(
         stats.mi_incremental_updates += s.mi_incremental_updates
         stats.workspace_builds += s.workspace_builds
         stats.workspace_hits += s.workspace_hits
+        stats.full_windows_evaluated += s.full_windows_evaluated
+        for phase, seconds in s.phase_seconds.items():
+            stats.add_phase(phase, seconds)
 
     candidates: Dict[WindowKey, WindowResult] = {}
     for (lo, _hi), seg in zip(spans, per_segment):
@@ -231,8 +235,10 @@ def _stitch(
                 (WindowResult(window=r.window, mi=score.mi, nmi=score.nmi), value)
             )
         stats.windows_evaluated += rescorer.evaluations
+        stats.full_windows_evaluated += rescorer.evaluations
         accepted.insert_prioritized(scored)
 
+    stats.add_phase("stitch", time.perf_counter() - stitch_started)
     stats.runtime_seconds = time.perf_counter() - started
     return TycosResult(windows=accepted.results(), stats=stats)
 
@@ -246,6 +252,7 @@ def search_segmented(
     n_segments: Optional[int] = None,
     n_jobs: int = 1,
     use_shared_memory: bool = True,
+    force_parallel: bool = False,
 ) -> TycosResult:
     """Search one pair with its timeline sharded into parallel segments.
 
@@ -270,6 +277,10 @@ def search_segmented(
         use_shared_memory: ship the jittered pair to the workers through
             one shared-memory block (the default) rather than pickling it
             into every worker.
+        force_parallel: run the pool even on a 1-core host, where the
+            default is to fall back to the sequential path (see
+            :func:`repro.analysis.parallel.effective_workers`); the
+            fallback is recorded in ``stats.serial_fallback``.
 
     Returns:
         A :class:`~repro.core.tycos.TycosResult` whose ``stats`` carry
@@ -291,7 +302,9 @@ def search_segmented(
     pair = PairView(x, y, jitter=cfg.jitter, seed=cfg.seed)
     spans = segment_spans(pair.n, segments, cfg.segment_overlap())
     seg_engine = _segment_engine(engine)
-    workers = min(resolve_n_jobs(n_jobs), len(spans))
+    workers, fell_back = effective_workers(
+        n_jobs, len(spans), force_parallel=force_parallel, what="search_segmented"
+    )
     if workers <= 1:
         per_segment = [
             _search_span(seg_engine, pair.x, pair.y, lo, hi) for lo, hi in spans
@@ -300,4 +313,6 @@ def search_segmented(
         per_segment = _run_segments_parallel(
             seg_engine, pair, spans, workers, use_shared_memory
         )
-    return _stitch(engine, pair, spans, per_segment, started)
+    result = _stitch(engine, pair, spans, per_segment, started)
+    result.stats.serial_fallback = fell_back
+    return result

@@ -5,6 +5,15 @@ from repro.core.config import ENERGY_CONFIG, SMARTCITY_CONFIG, TycosConfig
 from repro.core.lahc import LahcResult, LateAcceptanceHillClimbing
 from repro.core.neighborhood import Neighbor, neighborhood
 from repro.core.noise import NoiseDetector, find_initial_window, is_noise
+from repro.core.pyramid import (
+    PyramidLevel,
+    RefinementCell,
+    build_level,
+    build_pyramid,
+    coarse_config,
+    paa_downsample,
+    refinement_cell,
+)
 from repro.core.results import OverlapPolicy, ResultSet, WindowResult, merge_overlapping
 from repro.core.search_space import enumerate_feasible, exact_count, paper_count
 from repro.core.segmentation import overlap_zones, segment_spans, span_containing
@@ -57,6 +66,13 @@ __all__ = [
     "segment_spans",
     "overlap_zones",
     "span_containing",
+    "PyramidLevel",
+    "RefinementCell",
+    "paa_downsample",
+    "build_level",
+    "build_pyramid",
+    "refinement_cell",
+    "coarse_config",
     "BatchScorer",
     "IncrementalScorer",
     "WindowScore",

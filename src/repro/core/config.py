@@ -10,7 +10,7 @@ idle budget, the delta moving step, the KSG ``k``).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Tuple
 
 __all__ = ["TycosConfig", "ENERGY_CONFIG", "SMARTCITY_CONFIG"]
 
@@ -83,6 +83,31 @@ class TycosConfig:
             (:mod:`repro.core.segmentation`).  Defaults to ``s_min`` so
             noise probes and LAHC rings near a window's footprint keep
             some context past it.
+        coarse_factor: PAA aggregation factor of the coarse-to-fine
+            pre-pass (:mod:`repro.analysis.multiscale`).  1 (the default)
+            searches exhaustively at full resolution; larger values first
+            run the restart loop on a :mod:`repro.core.pyramid` level that
+            aggregates this many samples per cell, then refine only the
+            promising ``(region, delay band)`` cells at full resolution.
+            Reported scores are always full-resolution
+            :class:`~repro.core.thresholds.BatchScorer` values.
+        refine_margin: full-resolution samples added on each side of a
+            coarse hit's footprint before refinement, absorbing coarse
+            LAHC positioning error.  Defaults to ``s_max + td_max`` (one
+            maximal window footprint), which empirically preserves 100%
+            recall on the tracked bench; smaller values prune harder at
+            some recall risk.
+        coarse_sigma_ratio: fraction of ``sigma`` used as the acceptance
+            threshold of the coarse pre-pass.  Block-mean aggregation
+            dilutes MI, so the coarse pass must under-bid the final
+            threshold to avoid false dismissals; refinement re-applies the
+            full ``sigma``.
+        delay_band: when set, restricts the search to delays in this
+            inclusive ``(lo, hi)`` range (intersected with
+            ``[-td_max, td_max]``).  The multiscale refinement uses it to
+            confine each cell's search to the delays its coarse hit maps
+            to; it composes with every engine feature because both the
+            initial-window grid and the LAHC neighborhood respect it.
         init_delay_step: stride of the coarse delay grid probed when
             choosing an initial window (default ``max(1, s_min // 2)``).
             Algorithm 1 seeds the search at delay 0 only, but the MI
@@ -113,6 +138,10 @@ class TycosConfig:
     workspace_cache_size: int = 8
     n_segments: int = 1
     segment_margin: Optional[int] = None
+    coarse_factor: int = 1
+    refine_margin: Optional[int] = None
+    coarse_sigma_ratio: float = 0.5
+    delay_band: Optional[Tuple[int, int]] = None
     init_delay_step: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -155,26 +184,62 @@ class TycosConfig:
             raise ValueError(f"n_segments must be >= 1, got {self.n_segments}")
         if self.segment_margin is not None and self.segment_margin < 0:
             raise ValueError(f"segment_margin must be >= 0, got {self.segment_margin}")
+        if self.coarse_factor < 1:
+            raise ValueError(f"coarse_factor must be >= 1, got {self.coarse_factor}")
+        if self.refine_margin is not None and self.refine_margin < 0:
+            raise ValueError(f"refine_margin must be >= 0, got {self.refine_margin}")
+        if not 0 < self.coarse_sigma_ratio <= 1:
+            raise ValueError(
+                f"coarse_sigma_ratio must be in (0, 1], got {self.coarse_sigma_ratio}"
+            )
+        if self.delay_band is not None:
+            lo, hi = self.delay_band
+            if lo > hi:
+                raise ValueError(f"delay_band lo must be <= hi, got {self.delay_band}")
+            if hi < -self.td_max or lo > self.td_max:
+                raise ValueError(
+                    f"delay_band {self.delay_band} does not intersect "
+                    f"[-td_max, td_max] = [{-self.td_max}, {self.td_max}]"
+                )
 
     @property
     def epsilon(self) -> float:
         """The noise threshold ``epsilon = epsilon_ratio * sigma`` (Def. 6.4)."""
         return self.epsilon_ratio * self.sigma
 
+    def delay_bounds(self) -> Tuple[int, int]:
+        """The inclusive delay range the search may visit.
+
+        ``[-td_max, td_max]`` intersected with ``delay_band`` when one is
+        set; ``__post_init__`` guarantees the intersection is non-empty.
+        """
+        lo, hi = -self.td_max, self.td_max
+        if self.delay_band is not None:
+            lo = max(lo, self.delay_band[0])
+            hi = min(hi, self.delay_band[1])
+        return lo, hi
+
     def delay_grid(self) -> List[int]:
         """The coarse delay grid probed for initial windows.
 
-        Always contains 0 and both extremes ``+-td_max``; interior points
-        are spaced ``init_delay_step`` apart (default ``s_min // 2``).
+        Always contains both extremes of :meth:`delay_bounds` and 0 when
+        in range; interior points are spaced ``init_delay_step`` apart
+        (default ``s_min // 2``), measured from 0 so the grid is
+        unchanged by a band that merely clips it.
         """
         step = self.init_delay_step if self.init_delay_step is not None else max(1, self.s_min // 2)
-        grid = {0, self.td_max, -self.td_max} if self.td_max else {0}
+        lo, hi = self.delay_bounds()
+        grid = {lo, hi}
+        if lo <= 0 <= hi:
+            grid.add(0)
         tau = step
-        while tau < self.td_max:
-            grid.add(tau)
-            grid.add(-tau)
+        while tau < hi or -tau > lo:
+            if tau < hi:
+                grid.add(tau)
+            if -tau > lo:
+                grid.add(-tau)
             tau += step
-        return sorted(grid)
+        return sorted(d for d in grid if lo <= d <= hi)
 
     def segment_overlap(self) -> int:
         """Overlap (samples) between consecutive timeline segments.
@@ -187,6 +252,18 @@ class TycosConfig:
         """
         margin = self.segment_margin if self.segment_margin is not None else self.s_min
         return self.s_max + self.td_max + margin
+
+    def refinement_margin(self) -> int:
+        """Samples added around a coarse hit's footprint before refining.
+
+        Defaults to ``s_max + td_max`` -- one maximal window footprint --
+        so a coarse LAHC that settled a whole window away from the true
+        optimum still leaves the optimum inside the refinement cell.
+        ``refine_margin`` overrides the default outright.
+        """
+        if self.refine_margin is not None:
+            return self.refine_margin
+        return self.s_max + self.td_max
 
     def scaled(self, **changes: Any) -> "TycosConfig":
         """A copy with some fields replaced (convenience for sweeps)."""

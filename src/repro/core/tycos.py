@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -74,6 +74,24 @@ class SearchStats:
             two segments found the same window in an overlap zone.
         stitch_rescores: overlap-zone windows rescored on the whole
             series by the stitcher for cross-segment conflict resolution.
+        coarse_windows_evaluated: windows scored on PAA-downsampled
+            levels during a coarse-to-fine pre-pass
+            (:mod:`repro.analysis.multiscale`); 0 for exhaustive search.
+        refined_cells: full-resolution ``(region, delay band)`` cells the
+            refinement stage actually searched (after merging overlaps).
+        cells_pruned: coarse timeline tiles the pre-pass ruled out, i.e.
+            regions the exhaustive search would have scanned but the
+            multiscale search never touched at full resolution.
+        full_windows_evaluated: windows scored by the full-resolution
+            estimator.  For exhaustive search this equals
+            ``windows_evaluated``; for multiscale it is the quantity the
+            pruning ratio is measured on.
+        serial_fallback: True when a parallel request (``n_jobs > 1``)
+            was served serially because the host has a single CPU and
+            pool dispatch would only add overhead.
+        phase_seconds: wall-clock seconds per search phase (``seeding`` /
+            ``lahc`` / ``scoring`` / ``stitch`` / ``coarse`` /
+            ``refine``), for ``tycos-search --profile``.
         runtime_seconds: wall-clock time of the search.
     """
 
@@ -90,7 +108,17 @@ class SearchStats:
     segments: int = 0
     stitch_dedups: int = 0
     stitch_rescores: int = 0
+    coarse_windows_evaluated: int = 0
+    refined_cells: int = 0
+    cells_pruned: int = 0
+    full_windows_evaluated: int = 0
+    serial_fallback: bool = False
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
     runtime_seconds: float = 0.0
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock time into one named phase."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 
 
 @dataclass
@@ -165,6 +193,8 @@ class Tycos:
         *,
         n_segments: Optional[int] = None,
         n_jobs: int = 1,
+        coarse_factor: Optional[int] = None,
+        refine_margin: Optional[int] = None,
     ) -> TycosResult:
         """Find all correlated time delay windows of a pair (Algorithm 1/2).
 
@@ -182,6 +212,14 @@ class Tycos:
                 cores).  1 runs the segments sequentially in-process --
                 the reference stitcher whose output the parallel path
                 reproduces bit-exactly for every worker count.
+            coarse_factor: PAA aggregation factor of the coarse-to-fine
+                pre-pass (default: ``config.coarse_factor``).  1 searches
+                exhaustively; larger values first locate structure on a
+                downsampled level and refine only the promising cells at
+                full resolution (:mod:`repro.analysis.multiscale`).
+                Reported scores are always full-resolution.
+            refine_margin: samples added around each coarse hit before
+                refining (default: ``config.refinement_margin()``).
 
         Returns:
             A :class:`TycosResult` whose windows all score at least
@@ -190,20 +228,50 @@ class Tycos:
         segments = self.config.n_segments if n_segments is None else n_segments
         if segments < 1:
             raise ValueError(f"n_segments must be >= 1, got {segments}")
+        factor = self.config.coarse_factor if coarse_factor is None else coarse_factor
+        if factor < 1:
+            raise ValueError(f"coarse_factor must be >= 1, got {factor}")
+        if factor > 1:
+            from repro.analysis.multiscale import search_multiscale
+
+            return search_multiscale(
+                x,
+                y,
+                engine=self,
+                coarse_factor=factor,
+                refine_margin=refine_margin,
+                n_segments=segments,
+                n_jobs=n_jobs,
+            )
         if segments > 1:
             from repro.analysis.segmented import search_segmented
 
             return search_segmented(
                 x, y, engine=self, n_segments=segments, n_jobs=n_jobs
             )
+        return self._search_whole(x, y, scan_hook=None)
+
+    def _search_whole(
+        self,
+        x: AnyArray,
+        y: AnyArray,
+        scan_hook: Optional[Callable[[int], Optional[int]]] = None,
+    ) -> TycosResult:
+        """One whole-series restart loop (the body of a plain :meth:`search`).
+
+        ``scan_hook`` lets a caller *skip* restart positions: it receives
+        each prospective scan position and returns the next allowed one
+        (``None`` ends the scan).  The multiscale refinement uses it to
+        jump over coarse-pruned regions while keeping every surviving
+        restart bit-identical to the exhaustive search's -- see
+        :mod:`repro.analysis.multiscale`.
+        """
         started = time.perf_counter()
         cfg = self.config
         pair = PairView(x, y, jitter=cfg.jitter, seed=cfg.seed)
         if contracts.checks_enabled():
             contracts.check_series_shape(pair.x, pair.y, where="Tycos.search")
         scorer = make_scorer(pair, cfg, incremental=self.use_incremental)
-        rng = np.random.default_rng(cfg.seed)
-        lahc = LateAcceptanceHillClimbing(cfg.history_length, cfg.max_idle, rng)
         detector = NoiseDetector(scorer=scorer, config=cfg, n=pair.n) if self.use_noise else None
         accepted = ResultSet(policy=self.overlap_policy)
         stats = SearchStats()
@@ -211,12 +279,13 @@ class Tycos:
         def sigma_of(value: float) -> bool:
             return value >= cfg.sigma
 
-        self._drive(pair, scorer, lahc, detector, stats, sigma_of, accepted.insert)
+        self._drive(pair, scorer, detector, stats, sigma_of, accepted.insert, scan_hook)
 
         stats.windows_evaluated = scorer.evaluations
         stats.cache_hits = scorer.cache_hits
         stats.workspace_builds = scorer.workspace_builds
         stats.workspace_hits = scorer.workspace_hits
+        stats.full_windows_evaluated = scorer.evaluations
         if detector is not None:
             stats.noise_prunes = detector.prunes
         if isinstance(scorer, IncrementalScorer):
@@ -237,8 +306,6 @@ class Tycos:
         if contracts.checks_enabled():
             contracts.check_series_shape(pair.x, pair.y, where="Tycos.search_topk")
         scorer = make_scorer(pair, cfg, incremental=self.use_incremental)
-        rng = np.random.default_rng(cfg.seed)
-        lahc = LateAcceptanceHillClimbing(cfg.history_length, cfg.max_idle, rng)
         detector = NoiseDetector(scorer=scorer, config=cfg, n=pair.n) if self.use_noise else None
         stats = SearchStats()
         topk = TopKFilter(capacity=k_top)
@@ -249,12 +316,13 @@ class Tycos:
         def accept(result: WindowResult, value: float) -> bool:
             return topk.offer(result.window, value)
 
-        self._drive(pair, scorer, lahc, detector, stats, sigma_of, accept)
+        self._drive(pair, scorer, detector, stats, sigma_of, accept)
 
         stats.windows_evaluated = scorer.evaluations
         stats.cache_hits = scorer.cache_hits
         stats.workspace_builds = scorer.workspace_builds
         stats.workspace_hits = scorer.workspace_hits
+        stats.full_windows_evaluated = scorer.evaluations
         if detector is not None:
             stats.noise_prunes = detector.prunes
         if isinstance(scorer, IncrementalScorer):
@@ -273,21 +341,46 @@ class Tycos:
         self,
         pair: PairView,
         scorer: BatchScorer,
-        lahc: "LateAcceptanceHillClimbing[TimeDelayWindow]",
         detector: Optional[NoiseDetector],
         stats: SearchStats,
         passes_threshold: Callable[[float], bool],
         accept: Callable[[WindowResult, float], bool],
+        scan_hook: Optional[Callable[[int], Optional[int]]] = None,
     ) -> None:
-        """The restart loop shared by the fixed-sigma and top-K searches."""
+        """The restart loop shared by the fixed-sigma and top-K searches.
+
+        Each restart draws a fresh LAHC history generator seeded from
+        ``(config.seed, scan_from)``, so an ascent is a pure function of
+        its restart position and the pair: skipping some restarts (the
+        multiscale refinement's ``scan_hook``) cannot perturb the ones
+        that remain.  ``scan_hook`` maps each prospective scan position
+        to the next allowed one (monotonically non-decreasing; ``None``
+        stops the scan); ``None`` hook means scan everything.
+        """
         cfg = self.config
         n = pair.n
+        band = cfg.delay_bounds() if cfg.delay_band is not None else None
+        seed_base = cfg.seed & 0xFFFFFFFFFFFFFFFF
         scan_from = 0
-        while scan_from + cfg.s_min - 1 < n:
+        while True:
+            if scan_hook is not None:
+                jumped = scan_hook(scan_from)
+                if jumped is None:
+                    break
+                if jumped < scan_from:
+                    raise ValueError(
+                        f"scan_hook must not move backwards: {scan_from} -> {jumped}"
+                    )
+                scan_from = jumped
+            if scan_from + cfg.s_min - 1 >= n:
+                break
+            seed_started = time.perf_counter()
             w0 = self._initial_window(scorer, n, scan_from, detector)
             if w0 is None:
+                stats.add_phase("seeding", time.perf_counter() - seed_started)
                 break
             v0 = scorer.value(w0)
+            stats.add_phase("seeding", time.perf_counter() - seed_started)
             if detector is not None:
                 detector.reset()
 
@@ -316,16 +409,32 @@ class Tycos:
                     td_max=cfg.td_max,
                     blocked=blocked,
                 )
+                if band is not None:
+                    nbs = [nb for nb in nbs if band[0] <= nb.window.delay <= band[1]]
                 # Evaluate same-delay candidates consecutively so the
                 # incremental scorer's on-trajectory diffs chain between
                 # adjacent windows instead of ping-ponging across the ring.
                 nbs.sort(key=lambda nb: (nb.window.delay, nb.window.start, nb.window.end))
+                score_started = time.perf_counter()
                 if self.batched_scoring:
                     ring = [nb.window for nb in nbs]
-                    return list(zip(ring, scorer.value_many(ring)))
-                return [(nb.window, scorer.value(nb.window)) for nb in nbs]
+                    scored = list(zip(ring, scorer.value_many(ring)))
+                else:
+                    scored = [(nb.window, scorer.value(nb.window)) for nb in nbs]
+                stats.add_phase("scoring", time.perf_counter() - score_started)
+                return scored
 
+            lahc = LateAcceptanceHillClimbing(
+                cfg.history_length,
+                cfg.max_idle,
+                np.random.default_rng([seed_base, scan_from]),
+            )
+            scoring_before = stats.phase_seconds.get("scoring", 0.0)
+            ascent_started = time.perf_counter()
             ascent = lahc.search(w0, v0, candidates)
+            ascent_wall = time.perf_counter() - ascent_started
+            scored_during = stats.phase_seconds.get("scoring", 0.0) - scoring_before
+            stats.add_phase("lahc", ascent_wall - scored_during)
             stats.restarts += 1
             stats.lahc_iterations += ascent.iterations
             stats.accepted_moves += ascent.accepted_moves

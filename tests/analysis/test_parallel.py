@@ -54,12 +54,18 @@ class TestParallelDeterminism:
             prefilter_threshold=0.05,
             n_jobs=2,
             use_shared_memory=False,
+            force_parallel=True,
         )
         assert _snapshot(parallel) == _snapshot(serial_report)
 
     def test_single_pair_chunks_match_serial(self, collection, serial_report):
         parallel = scan_pairs_parallel(
-            collection, _config(), prefilter_threshold=0.05, n_jobs=2, chunk_size=1
+            collection,
+            _config(),
+            prefilter_threshold=0.05,
+            n_jobs=2,
+            chunk_size=1,
+            force_parallel=True,
         )
         assert _snapshot(parallel) == _snapshot(serial_report)
 
@@ -144,7 +150,12 @@ class TestNJobsHandling:
         monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", RecordingExecutor)
         pairs = [("a", "b"), ("c", "d")]
         report = scan_pairs_parallel(
-            collection, _config(), prefilter_threshold=0.05, pairs=pairs, n_jobs=6
+            collection,
+            _config(),
+            prefilter_threshold=0.05,
+            pairs=pairs,
+            n_jobs=6,
+            force_parallel=True,
         )
         assert recorded == [2]
         serial = scan_pairs(collection, _config(), prefilter_threshold=0.05, pairs=pairs)
@@ -164,3 +175,46 @@ class TestNJobsHandling:
         )
         serial = scan_pairs(collection, _config(), prefilter_threshold=0.05, pairs=pairs)
         assert _snapshot(report) == _snapshot(serial)
+
+
+class TestOneCoreSerialFallback:
+    """On a 1-core host a pool only adds dispatch overhead, so parallel
+    requests are served serially -- loudly (a logged warning plus a report
+    note), identically (same findings), and overridably (force_parallel)."""
+
+    def _one_core(self, monkeypatch):
+        import repro.analysis.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 1)
+
+    def test_effective_workers_falls_back_on_one_core(self, monkeypatch):
+        from repro.analysis.parallel import effective_workers
+
+        self._one_core(monkeypatch)
+        assert effective_workers(4, 10) == (1, True)
+
+    def test_effective_workers_single_task_is_not_a_fallback(self, monkeypatch):
+        """Clamping to one task is ordinary sizing, not the 1-core fallback."""
+        from repro.analysis.parallel import effective_workers
+
+        self._one_core(monkeypatch)
+        assert effective_workers(4, 1) == (1, False)
+
+    def test_force_parallel_overrides_one_core(self, monkeypatch):
+        from repro.analysis.parallel import effective_workers
+
+        self._one_core(monkeypatch)
+        assert effective_workers(4, 10, force_parallel=True) == (4, False)
+
+    def test_fallback_scan_matches_serial_and_is_noted(
+        self, collection, serial_report, monkeypatch, caplog
+    ):
+        self._one_core(monkeypatch)
+        with caplog.at_level("WARNING", logger="repro.analysis.parallel"):
+            report = scan_pairs_parallel(
+                collection, _config(), prefilter_threshold=0.05, n_jobs=2
+            )
+        assert _snapshot(report) == _snapshot(serial_report)
+        assert any("1-core host" in note for note in report.notes)
+        assert "(note:" in report.to_text()
+        assert any("1-core host" in rec.message for rec in caplog.records)

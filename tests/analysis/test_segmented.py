@@ -66,7 +66,9 @@ class TestSequentialParallelEquivalence:
         x, y = _coupled_pair(rng)
         cfg = _config()
         reference = search_segmented(x, y, cfg, n_segments=n_segments, n_jobs=1)
-        parallel = search_segmented(x, y, cfg, n_segments=n_segments, n_jobs=2)
+        parallel = search_segmented(
+            x, y, cfg, n_segments=n_segments, n_jobs=2, force_parallel=True
+        )
         assert _signature(parallel) == _signature(reference)
         assert parallel.stats.segments == reference.stats.segments
         assert parallel.stats.stitch_dedups == reference.stats.stitch_dedups
@@ -75,11 +77,29 @@ class TestSequentialParallelEquivalence:
     def test_pickle_transport_matches_shared_memory(self, rng):
         x, y = _coupled_pair(rng)
         cfg = _config()
-        shm = search_segmented(x, y, cfg, n_segments=2, n_jobs=2)
+        shm = search_segmented(x, y, cfg, n_segments=2, n_jobs=2, force_parallel=True)
         pickled = search_segmented(
-            x, y, cfg, n_segments=2, n_jobs=2, use_shared_memory=False
+            x,
+            y,
+            cfg,
+            n_segments=2,
+            n_jobs=2,
+            use_shared_memory=False,
+            force_parallel=True,
         )
         assert _signature(pickled) == _signature(shm)
+
+    def test_one_core_fallback_matches_reference_and_sets_flag(self, rng, monkeypatch):
+        import repro.analysis.parallel as parallel_mod
+
+        x, y = _coupled_pair(rng)
+        cfg = _config()
+        reference = search_segmented(x, y, cfg, n_segments=3, n_jobs=1)
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 1)
+        fallback = search_segmented(x, y, cfg, n_segments=3, n_jobs=2)
+        assert _signature(fallback) == _signature(reference)
+        assert fallback.stats.serial_fallback is True
+        assert reference.stats.serial_fallback is False
 
 
 class TestBoundaryContainment:

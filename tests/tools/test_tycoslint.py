@@ -213,19 +213,65 @@ def test_ty007_silent_on_sanctioned_module_tests_and_table_use():
 
 
 # --------------------------------------------------------------------- #
+# TY008 PAA outside pyramid
+
+
+def test_ty008_fires_on_reshape_mean_chain():
+    src = (
+        "import numpy as np\n"
+        "def down(v, f):\n"
+        "    return v[: v.size // f * f].reshape(-1, f).mean(axis=1)\n"
+        "__all__ = ['down']\n"
+    )
+    assert "TY008" in codes(src, OTHER_PATH)
+
+
+def test_ty008_fires_on_add_reduceat():
+    src = (
+        "import numpy as np\n"
+        "def down(v, idx):\n"
+        "    return np.add.reduceat(v, idx)\n"
+        "__all__ = ['down']\n"
+    )
+    assert "TY008" in codes(src, OTHER_PATH)
+
+
+def test_ty008_silent_in_pyramid_and_tests():
+    bad = (
+        "import numpy as np\n"
+        "def down(v, f):\n"
+        "    return v.reshape(-1, f).mean(axis=1)\n"
+        "__all__ = ['down']\n"
+    )
+    assert "TY008" not in codes(bad, Path("src/repro/core/pyramid.py"))
+    assert "TY008" not in codes(bad, TEST_PATH)
+
+
+def test_ty008_allows_plain_reshape_and_plain_mean():
+    src = (
+        "import numpy as np\n"
+        "def stats(v, f):\n"
+        "    grid = v.reshape(-1, f)\n"
+        "    return v.mean()\n"
+        "__all__ = ['stats']\n"
+    )
+    assert "TY008" not in codes(src, OTHER_PATH)
+
+
+# --------------------------------------------------------------------- #
 # engine behavior
 
 
 def test_registry_contains_all_rules():
     assert sorted(registered_rules()) == [
-        "TY001", "TY002", "TY003", "TY004", "TY005", "TY006", "TY007",
+        "TY001", "TY002", "TY003", "TY004", "TY005", "TY006", "TY007", "TY008",
     ]
 
 
 def test_resolve_rules_select_and_ignore():
     assert [r.code for r in resolve_rules(select=["TY005", "TY001"])] == ["TY005", "TY001"]
     assert [r.code for r in resolve_rules(ignore=["TY004"])] == [
-        "TY001", "TY002", "TY003", "TY005", "TY006", "TY007",
+        "TY001", "TY002", "TY003", "TY005", "TY006", "TY007", "TY008",
     ]
     with pytest.raises(KeyError):
         resolve_rules(select=["TY042"])
@@ -280,7 +326,7 @@ def test_cli_exit_codes(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("TY001", "TY002", "TY003", "TY004", "TY005", "TY006", "TY007"):
+    for code in ("TY001", "TY002", "TY003", "TY004", "TY005", "TY006", "TY007", "TY008"):
         assert code in out
 
 

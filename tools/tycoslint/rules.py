@@ -1,4 +1,4 @@
-"""Repository-specific tycoslint rules (TY001 - TY007).
+"""Repository-specific tycoslint rules (TY001 - TY008).
 
 Each rule machine-enforces an invariant the TYCOS reproduction relies on
 but that generic linters do not check:
@@ -18,6 +18,10 @@ but that generic linters do not check:
 * TY007 -- ``scipy.special.digamma`` must only be called through the
   shared lookup table in ``repro/mi/digamma.py``; direct calls re-pay
   the transcendental per window and bypass the process-wide cache.
+* TY008 -- PAA block-mean downsampling must only be built through
+  ``repro/core/pyramid.py``; a hand-rolled ``reshape(...).mean(...)``
+  elsewhere silently diverges from the pyramid containment lemma the
+  multiscale search's recall guarantee rests on.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ __all__ = [
     "SilentExceptRule",
     "WallClockRule",
     "DigammaRule",
+    "PaaConstructionRule",
 ]
 
 
@@ -432,5 +437,63 @@ class DigammaRule(Rule):
                     and value.attr == "special"
                     and isinstance(value.value, ast.Name)
                     and value.value.id == "scipy"
+                ):
+                    yield self.violation(node, self._message, path)
+
+
+@register
+class PaaConstructionRule(Rule):
+    """TY008: PAA downsampling only through ``repro/core/pyramid.py``.
+
+    The multiscale search's recall guarantee rests on the pyramid
+    containment lemma, which is proved for exactly the block-mean
+    aggregation (and tail handling) that :func:`repro.core.pyramid.paa_downsample`
+    implements.  A hand-rolled ``values.reshape(m, factor).mean(axis=1)``
+    -- or its ``np.add.reduceat`` equivalent -- elsewhere constructs a
+    downsampled pair whose coordinate mapping nothing checks, so coarse
+    hits would refine the wrong full-resolution regions without any test
+    failing.  Build coarse levels through ``paa_downsample`` /
+    ``build_level`` instead.
+    """
+
+    code = "TY008"
+    name = "paa-outside-pyramid"
+    description = "block-mean downsampling built outside repro/core/pyramid.py"
+
+    _sanctioned = "repro/core/pyramid.py"
+
+    def applies_to(self, path: Path) -> bool:
+        if is_test_path(path):
+            return False
+        return not path.as_posix().endswith(self._sanctioned)
+
+    _message = (
+        "hand-rolled PAA block-mean downsampling; build coarse levels "
+        "through repro.core.pyramid (paa_downsample / build_level), the "
+        "only sanctioned construction site"
+    )
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "mean":
+                inner = func.value
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "reshape"
+                ):
+                    yield self.violation(node, self._message, path)
+            elif func.attr == "reduceat":
+                value = func.value
+                if (
+                    isinstance(value, ast.Attribute)
+                    and value.attr == "add"
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in ("np", "numpy")
                 ):
                     yield self.violation(node, self._message, path)
