@@ -39,6 +39,8 @@ from repro.core.tycos import Tycos
 
 __all__ = [
     "scan_pairs_parallel",
+    "pooled_map",
+    "worker_state",
     "resolve_n_jobs",
     "effective_workers",
     "pack_series",
@@ -53,9 +55,24 @@ logger = logging.getLogger(__name__)
 _Layout = List[Tuple[str, int, int]]
 
 # Worker-process globals, populated once by the pool initializer.  Each
-# worker holds the attached series views plus the engine it scans with;
-# tasks then only need to name the pairs they cover.
+# worker holds the attached series views plus whatever extra state the
+# caller shipped (engine, thresholds); tasks then only need to carry the
+# coordinates of the work they cover.  This is the one sanctioned
+# process-wide registry for pool transport (tycoslint registry:
+# CACHE_MODULES): initializers repopulate it from scratch in every
+# worker, so nothing ever depends on a forked snapshot.
 _WORKER_STATE: Dict[str, Any] = {}
+
+
+def worker_state() -> Dict[str, Any]:
+    """The calling worker's transport state, as its initializer left it.
+
+    Task functions shipped to :func:`pooled_map` read their series under
+    ``worker_state()["series"]`` and any ``extra_state`` entries under
+    their own keys.  In the parent process (no initializer ran) the dict
+    is empty.
+    """
+    return _WORKER_STATE
 
 
 def resolve_n_jobs(n_jobs: int) -> int:
@@ -169,29 +186,84 @@ def attach_untracked(name: str) -> shared_memory.SharedMemory:
     return shm
 
 
-def _init_worker_shm(
-    shm_name: str,
-    layout: _Layout,
-    engine: Tycos,
-    prefilter_threshold: float,
+def _init_pooled_worker_shm(
+    shm_name: str, layout: _Layout, extra: Dict[str, Any]
 ) -> None:
     """Pool initializer: attach the shared block and build series views."""
+    _WORKER_STATE.clear()
     shm = attach_untracked(shm_name)
     _WORKER_STATE["shm"] = shm  # keep the mapping alive for the worker's life
     _WORKER_STATE["series"] = attach_series(shm, layout)
-    _WORKER_STATE["engine"] = engine
-    _WORKER_STATE["prefilter_threshold"] = prefilter_threshold
+    _WORKER_STATE.update(extra)
 
 
-def _init_worker_pickle(
-    series: Dict[str, FloatArray],
-    engine: Tycos,
-    prefilter_threshold: float,
+def _init_pooled_worker_pickle(
+    series: Dict[str, FloatArray], extra: Dict[str, Any]
 ) -> None:
     """Pool initializer fallback: series arrive pickled with the initargs."""
+    _WORKER_STATE.clear()
     _WORKER_STATE["series"] = series
-    _WORKER_STATE["engine"] = engine
-    _WORKER_STATE["prefilter_threshold"] = prefilter_threshold
+    _WORKER_STATE.update(extra)
+
+
+def pooled_map(
+    fn: Any,
+    tasks: Sequence[Any],
+    *,
+    workers: int,
+    series: Dict[str, FloatArray],
+    extra_state: Optional[Dict[str, Any]] = None,
+    use_shared_memory: bool = True,
+) -> List[Any]:
+    """Map ``fn`` over ``tasks`` on a process pool, series shipped once.
+
+    This is the repository's one pool/shared-memory lifecycle: it packs
+    ``series`` into a single shared block (pickling them instead when
+    shared memory is unavailable), ships ``extra_state`` to every worker
+    through the pool initializer, and guarantees the block is closed and
+    unlinked whatever happens.  Workers read everything back through
+    :func:`worker_state`.
+
+    Args:
+        fn: module-level task function (must be picklable); it receives
+            one task and reads its inputs from :func:`worker_state`.
+        tasks: task payloads, dispatched in order.
+        workers: worker process count (resolve via
+            :func:`effective_workers` first; this function spawns exactly
+            what it is told).
+        series: name -> float64 series shipped once to every worker,
+            available as ``worker_state()["series"]``.
+        extra_state: additional picklable entries merged into the worker
+            state (e.g. the engine to scan with).
+        use_shared_memory: transport series through shared memory (the
+            default) rather than pickling them with the initargs.
+
+    Returns:
+        ``[fn(task) for task in tasks]`` -- results in task order,
+        regardless of which worker computed what.
+    """
+    extra = dict(extra_state or {})
+    shm: Optional[shared_memory.SharedMemory] = None
+    if use_shared_memory:
+        try:
+            shm, layout = pack_series(series)
+        except (OSError, ValueError):
+            shm = None  # e.g. /dev/shm unavailable in a sandbox
+    try:
+        if shm is not None:
+            initializer = _init_pooled_worker_shm
+            initargs: Tuple[Any, ...] = (shm.name, layout, extra)
+        else:
+            initializer = _init_pooled_worker_pickle  # type: ignore[assignment]
+            initargs = (series, extra)
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            return list(pool.map(fn, tasks))
+    finally:
+        if shm is not None:
+            shm.close()
+            shm.unlink()
 
 
 # Task result payload: (submission index, tag, payload) where the tag is
@@ -202,9 +274,10 @@ _ChunkResult = List[Tuple[int, str, Any]]
 
 def _scan_chunk(chunk: Sequence[Tuple[int, str, str]]) -> _ChunkResult:
     """Worker task: evaluate a chunk of (index, source, target) pairs."""
-    series: Dict[str, FloatArray] = _WORKER_STATE["series"]
-    engine: Tycos = _WORKER_STATE["engine"]
-    threshold: float = _WORKER_STATE["prefilter_threshold"]
+    state = worker_state()
+    series: Dict[str, FloatArray] = state["series"]
+    engine: Tycos = state["engine"]
+    threshold: float = state["prefilter_threshold"]
     results: _ChunkResult = []
     for index, source, target in chunk:
         try:
@@ -312,30 +385,17 @@ def scan_pairs_parallel(
         chunk_size = max(1, math.ceil(len(tasks) / (workers * 4)))
     chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
 
-    shm: Optional[shared_memory.SharedMemory] = None
-    if use_shared_memory:
-        try:
-            shm, layout = pack_series(series)
-        except (OSError, ValueError):
-            shm = None  # e.g. /dev/shm unavailable in a sandbox
-    try:
-        if shm is not None:
-            initializer = _init_worker_shm
-            initargs: Tuple[Any, ...] = (shm.name, layout, engine, prefilter_threshold)
-        else:
-            initializer = _init_worker_pickle  # type: ignore[assignment]
-            initargs = (series, engine, prefilter_threshold)
-        slots: List[Optional[Tuple[str, Any]]] = [None] * len(tasks)
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=initargs
-        ) as pool:
-            for chunk_result in pool.map(_scan_chunk, chunks):
-                for index, tag, payload in chunk_result:
-                    slots[index] = (tag, payload)
-    finally:
-        if shm is not None:
-            shm.close()
-            shm.unlink()
+    slots: List[Optional[Tuple[str, Any]]] = [None] * len(tasks)
+    for chunk_result in pooled_map(
+        _scan_chunk,
+        chunks,
+        workers=workers,
+        series=series,
+        extra_state={"engine": engine, "prefilter_threshold": prefilter_threshold},
+        use_shared_memory=use_shared_memory,
+    ):
+        for index, tag, payload in chunk_result:
+            slots[index] = (tag, payload)
 
     report = PairwiseReport()
     for slot in slots:

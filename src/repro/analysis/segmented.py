@@ -38,17 +38,10 @@ classic whole-series search exactly.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from multiprocessing import shared_memory
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._types import AnyArray, FloatArray, WindowKey
-from repro.analysis.parallel import (
-    attach_series,
-    attach_untracked,
-    effective_workers,
-    pack_series,
-)
+from repro.analysis.parallel import effective_workers, pooled_map, worker_state
 from repro.core.config import TycosConfig
 from repro.core.results import ResultSet, WindowResult
 from repro.core.segmentation import Span, overlap_zones, segment_spans
@@ -57,11 +50,6 @@ from repro.core.tycos import SearchStats, Tycos, TycosResult
 from repro.core.window import PairView, TimeDelayWindow
 
 __all__ = ["search_segmented"]
-
-# Worker-process globals, populated once by the pool initializer: the
-# attached jittered pair plus the per-segment engine; tasks then carry
-# only span coordinates.
-_SEGMENT_STATE: Dict[str, Any] = {}
 
 #: One worker task: (submission index, span lo, span hi).
 _Task = Tuple[int, int, int]
@@ -90,31 +78,18 @@ def _search_span(
     return engine.search(x[lo:hi], y[lo:hi])
 
 
-def _init_segment_worker_shm(
-    shm_name: str, layout: List[Tuple[str, int, int]], engine: Tycos
-) -> None:
-    """Pool initializer: attach the shared jittered pair."""
-    shm = attach_untracked(shm_name)
-    _SEGMENT_STATE["shm"] = shm  # keep the mapping alive for the worker's life
-    arrays = attach_series(shm, layout)
-    _SEGMENT_STATE["x"] = arrays["x"]
-    _SEGMENT_STATE["y"] = arrays["y"]
-    _SEGMENT_STATE["engine"] = engine
-
-
-def _init_segment_worker_pickle(x: FloatArray, y: FloatArray, engine: Tycos) -> None:
-    """Pool initializer fallback: the jittered pair arrives pickled."""
-    _SEGMENT_STATE["x"] = x
-    _SEGMENT_STATE["y"] = y
-    _SEGMENT_STATE["engine"] = engine
-
-
 def _scan_span_task(task: _Task) -> Tuple[int, TycosResult]:
-    """Worker task: search one span, return its index-tagged result."""
+    """Worker task: search one span, return its index-tagged result.
+
+    The jittered pair and the span engine arrive through the
+    :func:`repro.analysis.parallel.pooled_map` transport; this module
+    owns no pool or shared-memory lifecycle of its own (tycoslint
+    TY101/TY102).
+    """
     index, lo, hi = task
-    result = _search_span(
-        _SEGMENT_STATE["engine"], _SEGMENT_STATE["x"], _SEGMENT_STATE["y"], lo, hi
-    )
+    state = worker_state()
+    series: Dict[str, FloatArray] = state["series"]
+    result = _search_span(state["engine"], series["x"], series["y"], lo, hi)
     return index, result
 
 
@@ -127,29 +102,16 @@ def _run_segments_parallel(
 ) -> List[TycosResult]:
     """Fan the spans over a process pool; results return in span order."""
     tasks: List[_Task] = [(i, lo, hi) for i, (lo, hi) in enumerate(spans)]
-    shm: Optional[shared_memory.SharedMemory] = None
-    if use_shared_memory:
-        try:
-            shm, layout = pack_series({"x": pair.x, "y": pair.y})
-        except (OSError, ValueError):
-            shm = None  # e.g. /dev/shm unavailable in a sandbox
-    try:
-        if shm is not None:
-            initializer = _init_segment_worker_shm
-            initargs: Tuple[Any, ...] = (shm.name, layout, seg_engine)
-        else:
-            initializer = _init_segment_worker_pickle  # type: ignore[assignment]
-            initargs = (pair.x, pair.y, seg_engine)
-        slots: List[Optional[TycosResult]] = [None] * len(tasks)
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=initargs
-        ) as pool:
-            for index, result in pool.map(_scan_span_task, tasks):
-                slots[index] = result
-    finally:
-        if shm is not None:
-            shm.close()
-            shm.unlink()
+    slots: List[Optional[TycosResult]] = [None] * len(tasks)
+    for index, result in pooled_map(
+        _scan_span_task,
+        tasks,
+        workers=workers,
+        series={"x": pair.x, "y": pair.y},
+        extra_state={"engine": seg_engine},
+        use_shared_memory=use_shared_memory,
+    ):
+        slots[index] = result
     out: List[TycosResult] = []
     for slot in slots:
         if slot is None:  # pragma: no cover - map() either fills all or raises

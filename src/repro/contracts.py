@@ -55,9 +55,12 @@ class ContractViolation(AssertionError, ValueError):
 # regardless of the environment: None defers to REPRO_CHECKS.
 _override: Optional[bool] = None
 
-# The environment is read once at import; `override_checks` covers the
-# test-time toggling use case without per-call getenv costs.
-_ENV_ENABLED: bool = os.environ.get("REPRO_CHECKS", "").strip() not in ("", "0", "false", "off")
+# The environment is read once at import by design: `override_checks`
+# covers the test-time toggling use case without per-call getenv costs,
+# and CI sets REPRO_CHECKS before the interpreter starts.
+_ENV_ENABLED: bool = os.environ.get(  # tycoslint: disable=TY113
+    "REPRO_CHECKS", ""
+).strip() not in ("", "0", "false", "off")
 
 
 def checks_enabled() -> bool:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.fig10 import run_fig10
@@ -23,7 +23,7 @@ from repro.experiments.table1 import run_table1
 from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
 
-__all__ = ["main"]
+__all__ = ["EXPERIMENTS", "main", "run_timed"]
 
 
 def _table1(scale: str, seed: int) -> str:
@@ -86,6 +86,19 @@ EXPERIMENTS: Dict[str, Callable[[str, int], str]] = {
 }
 
 
+def run_timed(name: str, scale: str, seed: int) -> Tuple[str, float]:
+    """Run one experiment and measure it: ``(artifact text, seconds)``.
+
+    Timing lives here, in the experiments layer, so the report builders
+    (``repro.experiments.summary`` and friends) stay clock-free -- their
+    serialized output must byte-diff clean across identical runs
+    (tycoslint TY114).
+    """
+    started = time.perf_counter()
+    text = EXPERIMENTS[name](scale, seed)
+    return text, time.perf_counter() - started
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -120,10 +133,9 @@ def main(argv: list[str] | None = None) -> int:
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        started = time.perf_counter()
-        text = EXPERIMENTS[name](args.scale, args.seed)
+        text, elapsed = run_timed(name, args.scale, args.seed)
         print(text)
-        print(f"[{name} finished in {time.perf_counter() - started:.1f}s]\n")
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
         if out_dir is not None:
             (out_dir / f"{name}.txt").write_text(text + "\n")
     return 0

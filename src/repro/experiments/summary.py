@@ -10,12 +10,11 @@ the paper would want.
 from __future__ import annotations
 
 import platform
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import EXPERIMENTS
+from repro.experiments.runner import EXPERIMENTS, run_timed
 
 __all__ = ["SummaryReport", "generate_summary"]
 
@@ -30,8 +29,14 @@ class SummaryReport:
     durations: Dict[str, float] = field(default_factory=dict)
     failures: Dict[str, str] = field(default_factory=dict)
 
-    def to_markdown(self) -> str:
-        """The full report as one markdown document."""
+    def to_markdown(self, include_timings: bool = False) -> str:
+        """The full report as one markdown document.
+
+        The default output is byte-stable across identical runs (the
+        determinism sanitizer diffs serialized reports); pass
+        ``include_timings=True`` to append per-section regeneration
+        times for human consumption.
+        """
         lines: List[str] = [
             "# TYCOS evaluation report",
             "",
@@ -46,7 +51,8 @@ class SummaryReport:
             lines.append("```")
             lines.append(self.sections[name])
             lines.append("```")
-            lines.append(f"_regenerated in {self.durations[name]:.1f}s_")
+            if include_timings and name in self.durations:
+                lines.append(f"_regenerated in {self.durations[name]:.1f}s_")
             lines.append("")
         if self.failures:
             lines.append("## failures")
@@ -82,12 +88,13 @@ def generate_summary(
         raise ValueError(f"unknown experiments {sorted(unknown)}")
     report = SummaryReport(scale=scale, seed=seed)
     for name in experiments:
-        started = time.perf_counter()
+        # run_timed owns the clock: report building stays wall-clock free
+        # so serialized reports byte-diff clean (tycoslint TY114).
         try:
-            report.sections[name] = EXPERIMENTS[name](scale, seed)
+            report.sections[name], report.durations[name] = run_timed(name, scale, seed)
         except Exception as exc:  # pragma: no cover - defensive, tested via injection
             report.failures[name] = f"{type(exc).__name__}: {exc}"
-        report.durations[name] = time.perf_counter() - started
+            report.durations[name] = 0.0
     if output_path is not None:
         Path(output_path).write_text(report.to_markdown())
     return report

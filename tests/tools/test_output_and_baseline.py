@@ -1,0 +1,185 @@
+"""Tests for JSON output, the baseline mechanism, and inline pragmas."""
+
+import json
+from pathlib import Path
+
+from tools.tycoslint.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    format_baseline,
+    load_baseline,
+)
+from tools.tycoslint.cli import main
+from tools.tycoslint.engine import Violation, lint_source, resolve_rules
+
+
+def make_fixture(tmp_path):
+    """One file firing TY001 (error) so the CLI has something to report."""
+    bad = tmp_path / "src" / "repro" / "core" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("flag = x == 0.5\n__all__ = ['flag']\n")
+    return bad
+
+
+# --------------------------------------------------------------------- #
+# JSON output
+
+
+class TestJsonOutput:
+    def test_one_json_object_per_line_with_schema(self, tmp_path, capsys):
+        make_fixture(tmp_path)
+        code = main(["--output", "json", "--no-baseline", "--no-cache", str(tmp_path)])
+        assert code == 1
+        lines = [line for line in capsys.readouterr().out.splitlines() if line]
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert set(record) == {"code", "path", "line", "col", "message", "severity"}
+        assert record["code"] == "TY001"
+        assert record["severity"] == "error"
+        assert record["path"].endswith("src/repro/core/mod.py")
+        assert isinstance(record["line"], int) and isinstance(record["col"], int)
+
+    def test_text_output_remains_default(self, tmp_path, capsys):
+        make_fixture(tmp_path)
+        assert main(["--no-baseline", "--no-cache", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "TY001" in out and "{" not in out
+
+    def test_severity_field_reflects_rule(self, tmp_path, capsys):
+        warn = tmp_path / "src" / "repro" / "core" / "warny.py"
+        warn.parent.mkdir(parents=True)
+        warn.write_text(
+            "def f():\n    return list({'a', 'b'})\n__all__ = ['f']\n"
+        )
+        main(
+            ["--output", "json", "--select", "TY111", "--no-baseline", "--no-cache", str(tmp_path)]
+        )
+        record = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert record["code"] == "TY111"
+        assert record["severity"] == "warning"
+
+
+# --------------------------------------------------------------------- #
+# Baseline
+
+
+class TestBaseline:
+    def test_load_and_suffix_matching(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(
+            "# comment line\n"
+            "\n"
+            "TY001 src/repro/core/mod.py  # trailing comment\n"
+        )
+        entries = load_baseline(baseline)
+        assert entries == [BaselineEntry(code="TY001", path="src/repro/core/mod.py")]
+        violation = Violation(
+            code="TY001", message="m", path="/abs/src/repro/core/mod.py", line=1, col=0
+        )
+        kept, suppressed, stale = apply_baseline([violation], entries)
+        assert kept == [] and suppressed == 1 and stale == []
+
+    def test_mismatches_kept_and_stale_reported(self, tmp_path):
+        entries = [
+            BaselineEntry(code="TY001", path="src/repro/core/mod.py"),
+            BaselineEntry(code="TY099", path="src/never/seen.py"),
+        ]
+        other = Violation(code="TY002", message="m", path="src/repro/core/mod.py", line=1, col=0)
+        kept, suppressed, stale = apply_baseline([other], entries)
+        assert kept == [other] and suppressed == 0
+        assert stale == entries  # neither entry matched anything
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("TY001 too many fields here\n")
+        try:
+            load_baseline(baseline)
+        except ValueError as exc:
+            assert "expected 'CODE path'" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("malformed baseline must raise")
+
+    def test_cli_baseline_suppresses_and_warns_stale(self, tmp_path, capsys):
+        make_fixture(tmp_path)
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("TY001 src/repro/core/mod.py\nTY008 src/ghost.py\n")
+        code = main(["--baseline", str(baseline), "--no-cache", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "TY001" not in captured.out
+        assert "stale baseline entry TY008" in captured.err
+
+    def test_cli_no_baseline_restores_findings(self, tmp_path, capsys):
+        make_fixture(tmp_path)
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("TY001 src/repro/core/mod.py\n")
+        code = main(
+            ["--baseline", str(baseline), "--no-baseline", "--no-cache", str(tmp_path)]
+        )
+        assert code == 1
+        assert "TY001" in capsys.readouterr().out
+
+    def test_write_baseline_roundtrip(self, tmp_path, capsys):
+        make_fixture(tmp_path)
+        baseline = tmp_path / "baseline.txt"
+        assert (
+            main(
+                ["--write-baseline", "--baseline", str(baseline), "--no-cache", str(tmp_path)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert "TY001" in baseline.read_text()
+        # The run is clean against the baseline it just wrote.
+        assert main(["--baseline", str(baseline), "--no-cache", str(tmp_path)]) == 0
+
+    def test_format_baseline_dedupes(self):
+        violations = [
+            Violation(code="TY001", message="a", path="src/m.py", line=1, col=0),
+            Violation(code="TY001", message="b", path="src/m.py", line=9, col=0),
+        ]
+        text = format_baseline(violations)
+        assert text.count("TY001 src/m.py") == 1
+
+
+# --------------------------------------------------------------------- #
+# Pragmas
+
+
+class TestPragmas:
+    def test_pragma_suppresses_on_flagged_line(self):
+        src = (
+            "flag = x == 0.5  # tycoslint: disable=TY001\n"
+            "__all__ = ['flag']\n"
+        )
+        found = lint_source(src, Path("src/repro/core/m.py"), resolve_rules())
+        assert [v.code for v in found] == []
+
+    def test_pragma_is_code_specific(self):
+        src = (
+            "flag = x == 0.5  # tycoslint: disable=TY006\n"
+            "__all__ = ['flag']\n"
+        )
+        found = lint_source(src, Path("src/repro/core/m.py"), resolve_rules())
+        assert [v.code for v in found] == ["TY001"]
+
+    def test_pragma_accepts_multiple_codes(self):
+        src = (
+            "flag = x == 0.5  # tycoslint: disable=TY006, TY001\n"
+            "__all__ = ['flag']\n"
+        )
+        found = lint_source(src, Path("src/repro/core/m.py"), resolve_rules())
+        assert found == []
+
+
+def test_cache_speeds_reruns_and_is_correct(tmp_path, capsys):
+    """A cached second run reports exactly what the cold run reported."""
+    make_fixture(tmp_path)
+    cache = tmp_path / "model.cache"
+    args = ["--no-baseline", "--cache", str(cache), str(tmp_path)]
+    assert main(args) == 1
+    cold = capsys.readouterr().out
+    assert cache.exists()
+    assert main(args) == 1
+    warm = capsys.readouterr().out
+    assert warm == cold

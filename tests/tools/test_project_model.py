@@ -1,0 +1,149 @@
+"""Tests for pass 1 of the whole-program analyzer: the project model."""
+
+import textwrap
+
+from tools.tycoslint.project import (
+    build_module_info,
+    build_project,
+    module_name_for,
+)
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+class TestModuleNames:
+    def test_src_layout(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "mi" / "digamma.py"
+        assert module_name_for(path) == "repro.mi.digamma"
+
+    def test_package_init_maps_to_package(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "analysis" / "__init__.py"
+        assert module_name_for(path) == "repro.analysis"
+
+    def test_tests_and_tools_anchors(self, tmp_path):
+        assert (
+            module_name_for(tmp_path / "tests" / "mi" / "test_digamma.py")
+            == "tests.mi.test_digamma"
+        )
+        assert (
+            module_name_for(tmp_path / "tools" / "tycoslint" / "engine.py")
+            == "tools.tycoslint.engine"
+        )
+
+
+class TestModuleInfo:
+    def test_state_inventory_kinds(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            import functools
+
+            _MEMO = {}
+            _ITEMS: list = []
+            NAMES = set()
+            _MODE = None
+
+            @functools.lru_cache(maxsize=None)
+            def cached(n):
+                return n * 2
+
+            def set_mode(mode):
+                global _MODE
+                _MODE = mode
+            """
+        )
+        info = build_module_info(tmp_path / "src" / "repro" / "core" / "m.py", source)
+        kinds = {name: record.kind for name, record in info.state.items()}
+        assert kinds == {
+            "_MEMO": "dict",
+            "_ITEMS": "list",
+            "NAMES": "set",
+            "cached": "lru_cache",
+            "_MODE": "rebound-global",
+        }
+
+    def test_dunder_all_not_counted_as_state(self, tmp_path):
+        info = build_module_info(
+            tmp_path / "src" / "repro" / "core" / "m.py", "__all__ = []\n"
+        )
+        assert info.state == {}
+
+    def test_import_bindings(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            import numpy as np
+            from repro.analysis import parallel
+            from repro.analysis.parallel import worker_state as ws
+            from .config import TycosConfig
+            """
+        )
+        info = build_module_info(tmp_path / "src" / "repro" / "core" / "m.py", source)
+        assert info.bindings["np"] == ("numpy", None)
+        assert info.bindings["parallel"] == ("repro.analysis", "parallel")
+        assert info.bindings["ws"] == ("repro.analysis.parallel", "worker_state")
+        # Relative import resolves against the containing package.
+        assert info.bindings["TycosConfig"] == ("repro.core.config", "TycosConfig")
+        assert "repro.analysis.parallel" in info.imported_modules
+
+
+class TestProjectModel:
+    def test_tests_importing_and_state_index(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "src/repro/mi/fast.py": """
+                    _CACHE = {}
+                    __all__ = []
+                    """,
+                "tests/mi/test_fast.py": """
+                    from repro.mi.fast import thing
+
+                    def test_thing():
+                        assert thing() == 1
+                    """,
+            },
+        )
+        model = build_project([tmp_path])
+        assert model.has_tests
+        assert ("repro.mi.fast", "_CACHE") in model.state
+        importers = model.tests_importing("repro.mi.fast")
+        assert [info.name for info in importers] == ["tests.mi.test_fast"]
+        assert model.tests_importing("repro.mi.other") == []
+
+    def test_parse_errors_recorded(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/bad.py": "def f(:\n"})
+        model = build_project([tmp_path])
+        assert model.parse_errors and "bad.py" in model.parse_errors[0]
+
+    def test_disk_cache_roundtrip_and_invalidation(self, tmp_path):
+        root = write_tree(
+            tmp_path / "proj", {"src/repro/core/m.py": "_MEMO = {}\n__all__ = []\n"}
+        )
+        cache = tmp_path / "model.cache"
+
+        first = build_project([root], cache_path=cache)
+        assert cache.exists()
+        warm = build_project([root], cache_path=cache)
+        assert set(warm.modules) == set(first.modules)
+        assert ("repro.core.m", "_MEMO") in warm.state
+
+        # Changing the file (mtime/size) must invalidate its entry.
+        target = root / "src" / "repro" / "core" / "m.py"
+        target.write_text("_OTHER = []\n__all__ = []\n")
+        updated = build_project([root], cache_path=cache)
+        assert ("repro.core.m", "_OTHER") in updated.state
+        assert ("repro.core.m", "_MEMO") not in updated.state
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        root = write_tree(
+            tmp_path / "proj", {"src/repro/core/m.py": "__all__ = []\n"}
+        )
+        cache = tmp_path / "model.cache"
+        cache.write_bytes(b"not a pickle")
+        model = build_project([root], cache_path=cache)
+        assert "repro.core.m" in model.modules

@@ -1,16 +1,26 @@
-"""tycoslint: the TYCOS reproduction's repository-specific AST linter.
+"""tycoslint: the TYCOS reproduction's repository-specific linter.
 
-A small rule engine (:mod:`tools.tycoslint.engine`) plus six rules
-(:mod:`tools.tycoslint.rules`) that machine-enforce invariants generic
-linters cannot know about: float-equality bans in the numerical
-packages, seeded-randomness discipline, honest ``__all__`` exports, and
-monotonic-clock timing.  Run it with::
+A two-pass whole-program analyzer.  Pass 1
+(:mod:`tools.tycoslint.project`) parses every file once and builds the
+project model -- module graph, import bindings, module-level
+mutable-state inventory, test <-> source mapping.  Pass 2 runs the
+rules: the per-file families (:mod:`tools.tycoslint.rules`, TY001-TY008)
+see one AST at a time; the cross-module families
+(:mod:`tools.tycoslint.program_rules`, TY101-TY121) see the model and
+enforce fork-safety, determinism, and bit-exactness-gate coverage
+against the declared architecture in :mod:`tools.tycoslint.registry`.
+
+Run it with::
 
     python -m tools.tycoslint src tests
+
+Accepted findings live in ``tools/tycoslint/baseline.txt``; the runtime
+determinism sanitizer is ``python -m tools.tycoslint.sanitize``.
 """
 
 from tools.tycoslint.engine import (
     LintReport,
+    ProjectRule,
     Rule,
     Violation,
     lint_file,
@@ -19,11 +29,15 @@ from tools.tycoslint.engine import (
     registered_rules,
     resolve_rules,
 )
+from tools.tycoslint.project import ProjectModel, build_project
 
 __all__ = [
     "Rule",
+    "ProjectRule",
     "Violation",
     "LintReport",
+    "ProjectModel",
+    "build_project",
     "lint_source",
     "lint_file",
     "lint_paths",

@@ -1,0 +1,109 @@
+"""Baseline (suppression-file) support for tycoslint.
+
+A baseline is a checked-in list of accepted findings so that enabling a
+new rule never blocks CI on pre-existing, reviewed code.  Each non-blank,
+non-comment line is::
+
+    TYxxx path/to/file.py        # optional trailing comment
+
+A finding matches an entry when the codes are equal and the entry's path
+is the finding's path or a trailing suffix of it (so the file works from
+any checkout root).  One entry suppresses any number of findings of that
+code in that file -- a baseline accepts a *known debt*, not a specific
+line number, which would churn on every unrelated edit.
+
+Entries that match nothing are reported as *stale* so the file shrinks
+as debt is paid down; staleness warns but does not fail the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple
+
+from tools.tycoslint.engine import Violation
+
+__all__ = [
+    "BaselineEntry",
+    "load_baseline",
+    "apply_baseline",
+    "format_baseline",
+    "DEFAULT_BASELINE",
+]
+
+#: Default baseline location, applied automatically when it exists.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.txt"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: a rule code plus a path (suffix-matched)."""
+
+    code: str
+    path: str
+
+    def matches(self, violation: Violation) -> bool:
+        if violation.code != self.code:
+            return False
+        v_path = Path(violation.path).as_posix()
+        return v_path == self.path or v_path.endswith("/" + self.path)
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse a baseline file; malformed lines raise ``ValueError``."""
+    entries: List[BaselineEntry] = []
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(
+                f"{path}:{lineno}: expected 'CODE path', got {raw.strip()!r}"
+            )
+        code, entry_path = parts
+        entries.append(BaselineEntry(code=code, path=Path(entry_path).as_posix()))
+    return entries
+
+
+def apply_baseline(
+    violations: Sequence[Violation], entries: Iterable[BaselineEntry]
+) -> Tuple[List[Violation], int, List[BaselineEntry]]:
+    """Filter baselined findings.
+
+    Returns:
+        ``(kept, suppressed_count, stale_entries)`` where ``stale_entries``
+        are baseline lines that matched no finding this run.
+    """
+    entries = list(entries)
+    used = [False] * len(entries)
+    kept: List[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        matched = False
+        for index, entry in enumerate(entries):
+            if entry.matches(violation):
+                used[index] = True
+                matched = True
+        if matched:
+            suppressed += 1
+        else:
+            kept.append(violation)
+    stale = [entry for entry, was_used in zip(entries, used) if not was_used]
+    return kept, suppressed, stale
+
+
+def format_baseline(violations: Sequence[Violation]) -> str:
+    """Render current findings as baseline-file content (for --write-baseline)."""
+    lines = [
+        "# tycoslint baseline: accepted findings, one 'CODE path' per line.",
+        "# Regenerate with: python -m tools.tycoslint --write-baseline <paths>",
+    ]
+    seen = set()
+    for violation in sorted(violations, key=lambda v: (v.code, v.path)):
+        entry = f"{violation.code} {Path(violation.path).as_posix()}"
+        if entry not in seen:
+            seen.add(entry)
+            lines.append(entry)
+    return "\n".join(lines) + "\n"

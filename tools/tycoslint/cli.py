@@ -5,28 +5,46 @@ Usage::
     python -m tools.tycoslint src tests
     python -m tools.tycoslint --select TY001,TY004 src
     python -m tools.tycoslint --ignore TY006 src tests
+    python -m tools.tycoslint --output json src tests
+    python -m tools.tycoslint --write-baseline src tests
     python -m tools.tycoslint --list-rules
 
 Exit codes follow the pytest convention: 0 = clean, 1 = violations
 found, 2 = usage or parse error.
+
+Findings listed in the checked-in baseline file
+(``tools/tycoslint/baseline.txt``; override with ``--baseline``, disable
+with ``--no-baseline``) are suppressed and reported only as a count.
+The project model is cached at ``.tycoslint-cache`` keyed by file
+mtimes; ``--no-cache`` forces a full re-parse.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-# Importing the rules module populates the registry as a side effect.
+# Importing the rule modules populates the registry as a side effect.
+import tools.tycoslint.program_rules  # noqa: F401
 import tools.tycoslint.rules  # noqa: F401
-from tools.tycoslint.engine import lint_paths, registered_rules, resolve_rules
+from tools.tycoslint.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    format_baseline,
+    load_baseline,
+)
+from tools.tycoslint.engine import LintReport, lint_paths, registered_rules, resolve_rules
 
 __all__ = ["main", "build_parser"]
 
 EXIT_CLEAN = 0
 EXIT_VIOLATIONS = 1
 EXIT_USAGE = 2
+
+DEFAULT_CACHE = Path(".tycoslint-cache")
 
 
 def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
@@ -39,7 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
     """The tycoslint argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="tycoslint",
-        description="Repository-specific AST linter for the TYCOS reproduction.",
+        description="Repository-specific whole-program linter for the TYCOS reproduction.",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(
@@ -51,7 +69,62 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the registered rules and exit"
     )
+    parser.add_argument(
+        "--output",
+        choices=("text", "json"),
+        default="text",
+        help="finding format: editor-clickable text (default) or one JSON object per line",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        type=Path,
+        default=None,
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE.name} "
+        "next to the package, when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit clean",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        type=Path,
+        default=DEFAULT_CACHE,
+        help="project-model cache location (default: .tycoslint-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="do not read or write the model cache"
+    )
     return parser
+
+
+def _emit(report: LintReport, output: str) -> None:
+    if output == "json":
+        for violation in report.violations:
+            print(
+                json.dumps(
+                    {
+                        "code": violation.code,
+                        "path": violation.path,
+                        "line": violation.line,
+                        "col": violation.col,
+                        "message": violation.message,
+                        "severity": violation.severity,
+                    },
+                    sort_keys=True,
+                )
+            )
+    else:
+        for violation in report.violations:
+            print(violation.render())
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -61,7 +134,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if options.list_rules:
         for code, rule_cls in sorted(registered_rules().items()):
-            print(f"{code}  {rule_cls.name:>18}  {rule_cls.description}")
+            print(f"{code}  {rule_cls.name:>28}  {rule_cls.description}")
         return EXIT_CLEAN
 
     if not options.paths:
@@ -86,15 +159,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return EXIT_USAGE
 
-    report = lint_paths(targets, rules)
-    for violation in report.violations:
-        print(violation.render())
+    cache_path = None if options.no_cache else options.cache
+    report = lint_paths(targets, rules, cache_path=cache_path)
+
+    baseline_path = options.baseline if options.baseline is not None else DEFAULT_BASELINE
+
+    if options.write_baseline:
+        baseline_path.write_text(format_baseline(report.violations), encoding="utf-8")
+        print(
+            f"tycoslint: wrote {len(report.violations)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE if report.parse_errors else EXIT_CLEAN
+
+    if not options.no_baseline and baseline_path.exists():
+        try:
+            entries = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"tycoslint: error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        kept, suppressed, stale = apply_baseline(report.violations, entries)
+        report.violations = kept
+        report.baselined = suppressed
+        for entry in stale:
+            print(
+                f"tycoslint: warning: stale baseline entry {entry.code} {entry.path} "
+                "(matched nothing; remove it)",
+                file=sys.stderr,
+            )
+
+    _emit(report, options.output)
     for error in report.parse_errors:
         print(f"tycoslint: parse error: {error}", file=sys.stderr)
 
     if report.parse_errors:
         return EXIT_USAGE
     if report.violations:
-        print(f"tycoslint: {len(report.violations)} violation(s) found", file=sys.stderr)
+        suffix = f" ({report.baselined} baselined)" if report.baselined else ""
+        print(
+            f"tycoslint: {len(report.violations)} violation(s) found{suffix}",
+            file=sys.stderr,
+        )
         return EXIT_VIOLATIONS
     return EXIT_CLEAN

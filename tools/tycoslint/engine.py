@@ -1,10 +1,16 @@
 """tycoslint rule engine: AST visitors, rule registry, file walking.
 
-The engine is deliberately small: a :class:`Rule` owns a stable code
-(``TY0xx``), decides which files it applies to, and yields
-:class:`Violation` records from a parsed module.  Rules register
-themselves via the :func:`register` decorator; the CLI selects among the
-registered rules with ``--select`` / ``--ignore``.
+The engine runs two passes.  Pass 1 parses every file once and builds
+the whole-program :class:`~tools.tycoslint.project.ProjectModel`; pass 2
+runs the rules: per-file :class:`Rule` subclasses see one parsed module
+at a time, :class:`ProjectRule` subclasses (the TY100+ families) see the
+project model and can reason across modules.  Rules register themselves
+via the :func:`register` decorator; the CLI selects among the registered
+rules with ``--select`` / ``--ignore``.
+
+A finding can be silenced at its site with an inline pragma on the
+flagged line (``# tycoslint: disable=TY101``) or accepted wholesale in a
+checked-in baseline file (:mod:`tools.tycoslint.baseline`).
 
 Everything is standard library only, so the linter runs in any
 environment that can run the test suite.
@@ -13,13 +19,18 @@ environment that can run the test suite.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from tools.tycoslint.project import ProjectModel
 
 __all__ = [
     "Violation",
     "Rule",
+    "ProjectRule",
     "register",
     "registered_rules",
     "resolve_rules",
@@ -29,6 +40,7 @@ __all__ = [
     "lint_paths",
     "iter_python_files",
     "is_test_path",
+    "pragma_codes",
 ]
 
 
@@ -41,6 +53,7 @@ class Violation:
     path: str
     line: int
     col: int
+    severity: str = "error"
 
     def render(self) -> str:
         """Human-readable one-liner, editor-clickable."""
@@ -59,6 +72,7 @@ class Rule:
     code: str = "TY000"
     name: str = "abstract-rule"
     description: str = ""
+    severity: str = "error"
 
     def applies_to(self, path: Path) -> bool:
         """Whether this rule runs on ``path`` (default: every file)."""
@@ -76,7 +90,28 @@ class Rule:
             path=str(path),
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            severity=self.severity,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules (the TY100+ families).
+
+    A project rule sees the :class:`~tools.tycoslint.project.ProjectModel`
+    instead of one module at a time, so it can relate state defined in
+    one file to mutations in another, or a source module to its test
+    coverage.  Project rules yield nothing from the per-file
+    :meth:`check` entry point (``lint_source`` on a lone snippet has no
+    project to analyze); :func:`lint_paths` calls :meth:`check_project`
+    once per run.
+    """
+
+    def check(self, tree: ast.Module, path: Path) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project: "ProjectModel") -> Iterator[Violation]:
+        """Yield violations found across the whole project."""
+        raise NotImplementedError
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
@@ -133,14 +168,48 @@ class LintReport:
 
     violations: List[Violation]
     parse_errors: List[str]
+    #: count of findings silenced by inline ``# tycoslint: disable=`` pragmas.
+    pragma_suppressed: int = 0
+    #: count of findings filtered by the baseline (set by the CLI layer).
+    baselined: int = 0
 
     @property
     def clean(self) -> bool:
         return not self.violations and not self.parse_errors
 
 
+_PRAGMA = re.compile(r"#\s*tycoslint:\s*disable=([A-Z0-9,\s]+)")
+
+
+def pragma_codes(line: str) -> frozenset:
+    """Rule codes an inline pragma on ``line`` disables (empty if none)."""
+    match = _PRAGMA.search(line)
+    if match is None:
+        return frozenset()
+    return frozenset(code.strip() for code in match.group(1).split(",") if code.strip())
+
+
+def _apply_pragmas(
+    violations: List[Violation], lines_for_path: Dict[str, List[str]]
+) -> "tuple[List[Violation], int]":
+    """Drop findings whose flagged source line carries a disable pragma."""
+    kept: List[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        lines = lines_for_path.get(violation.path)
+        if lines is not None and 1 <= violation.line <= len(lines):
+            if violation.code in pragma_codes(lines[violation.line - 1]):
+                suppressed += 1
+                continue
+        kept.append(violation)
+    return kept, suppressed
+
+
 def lint_source(source: str, path: Path, rules: Sequence[Rule]) -> List[Violation]:
     """Lint one module given as source text (the unit-test entry point).
+
+    Runs the per-file rules only (a lone snippet has no project model);
+    inline pragmas are honored.
 
     Raises:
         SyntaxError: if the source does not parse.
@@ -150,6 +219,7 @@ def lint_source(source: str, path: Path, rules: Sequence[Rule]) -> List[Violatio
     for rule in rules:
         if rule.applies_to(path):
             found.extend(rule.check(tree, path))
+    found, _ = _apply_pragmas(found, {str(path): source.splitlines()})
     found.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return found
 
@@ -176,13 +246,45 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield path
 
 
-def lint_paths(paths: Iterable[Path], rules: Sequence[Rule]) -> LintReport:
-    """Lint every python file under ``paths`` with ``rules``."""
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Sequence[Rule],
+    *,
+    cache_path: Optional[Path] = None,
+    project: Optional["ProjectModel"] = None,
+) -> LintReport:
+    """Lint every python file under ``paths`` with ``rules`` (both passes).
+
+    Pass 1 builds (or reuses) the project model; pass 2 runs the per-file
+    rules over each parsed module and the :class:`ProjectRule` subclasses
+    once over the model.  Inline pragmas are applied to both passes.
+
+    Args:
+        paths: files/directories to lint.
+        rules: instantiated rules (see :func:`resolve_rules`).
+        cache_path: optional on-disk project-model cache, keyed by file
+            ``(mtime_ns, size)`` so warm runs skip unchanged parses.
+        project: a pre-built model (skips pass 1; ``paths`` ignored).
+    """
+    if project is None:
+        from tools.tycoslint.project import build_project
+
+        project = build_project(paths, cache_path=cache_path)
     violations: List[Violation] = []
-    parse_errors: List[str] = []
-    for path in iter_python_files(paths):
-        try:
-            violations.extend(lint_file(path, rules))
-        except SyntaxError as exc:
-            parse_errors.append(f"{path}: {exc.msg} (line {exc.lineno})")
-    return LintReport(violations=violations, parse_errors=parse_errors)
+    lines_for_path: Dict[str, List[str]] = {}
+    for info in project.modules.values():
+        lines_for_path[info.path] = info.lines
+        path = Path(info.path)
+        for rule in rules:
+            if not isinstance(rule, ProjectRule) and rule.applies_to(path):
+                violations.extend(rule.check(info.tree, path))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            violations.extend(rule.check_project(project))
+    violations, suppressed = _apply_pragmas(violations, lines_for_path)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return LintReport(
+        violations=violations,
+        parse_errors=list(project.parse_errors),
+        pragma_suppressed=suppressed,
+    )

@@ -1,0 +1,366 @@
+"""Pass 1 of the whole-program analyzer: the project model.
+
+The per-file rules (TY001-TY008) see one AST at a time, which is exactly
+why the hazards that motivated the TY100+ families were invisible to
+them: a process-wide cache is *defined* in one module and *mutated* in
+another, a pool is spawned in one file and the state it forked is owned
+elsewhere, and the bit-exactness gate is a relationship between a source
+module and a test file.  :func:`build_project` walks every Python file
+once and produces a :class:`ProjectModel` the cross-module rules
+(:mod:`tools.tycoslint.program_rules`) query:
+
+* module inventory with dotted names derived from the repository layout
+  (``src/repro/mi/digamma.py`` -> ``repro.mi.digamma``);
+* per-module import bindings (local name -> project module / attribute),
+  so a mutation of ``parallel._WORKER_STATE`` from another file resolves
+  to the owning module;
+* the module-level mutable-state inventory (dict/list/set/deque
+  literals, ``functools.lru_cache`` memos, names rebound via
+  ``global``);
+* the test-file <-> source-module mapping used by the TY120 gate.
+
+The model is cached on disk keyed by each file's ``(mtime_ns, size)``
+(see :func:`build_project`'s ``cache_path``), so repeated runs re-parse
+only the files that changed.  Everything is standard library only.
+"""
+
+from __future__ import annotations
+
+import ast
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from tools.tycoslint.engine import is_test_path, iter_python_files
+
+__all__ = [
+    "ModuleState",
+    "ModuleInfo",
+    "ProjectModel",
+    "module_name_for",
+    "build_project",
+    "build_module_info",
+]
+
+#: Calls whose result is a mutable container when bound at module level.
+_MUTABLE_CALLS = {
+    "list", "dict", "set", "bytearray",
+    "defaultdict", "OrderedDict", "Counter", "deque",
+}
+
+#: Decorator names marking a function as a module-level memo cache.
+_CACHE_DECORATORS = {"lru_cache", "cache"}
+
+#: Cache file format tag; bump when ModuleInfo's pickle layout changes.
+_CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ModuleState:
+    """One piece of module-level mutable state.
+
+    Attributes:
+        module: dotted name of the owning module.
+        name: the module-level binding.
+        kind: ``"dict"`` / ``"list"`` / ``"set"`` / ... for container
+            literals, ``"lru_cache"`` for decorated memo functions,
+            ``"rebound-global"`` for names some function rebinds via
+            ``global``.
+        line: line of the defining statement.
+    """
+
+    module: str
+    name: str
+    kind: str
+    line: int
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the cross-module rules need to know about one module."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    lines: List[str]
+    is_test: bool
+    #: local name -> (dotted module, attribute-or-None).  ``attribute`` is
+    #: set for ``from pkg.mod import NAME`` bindings, ``None`` when the
+    #: local name refers to the module itself.
+    bindings: Dict[str, Tuple[str, Optional[str]]] = field(default_factory=dict)
+    #: every dotted module name this module imports (used by the test
+    #: mapping; includes both ``pkg`` and ``pkg.mod`` candidates for
+    #: ``from pkg import mod``).
+    imported_modules: Set[str] = field(default_factory=set)
+    #: module-level mutable state owned by this module, keyed by name.
+    state: Dict[str, ModuleState] = field(default_factory=dict)
+
+
+@dataclass
+class ProjectModel:
+    """The whole-program view pass-2 rules run against."""
+
+    modules: Dict[str, ModuleInfo]
+    #: (owner module, binding name) -> state record, across the project.
+    state: Dict[Tuple[str, str], ModuleState]
+    parse_errors: List[str]
+
+    @property
+    def has_tests(self) -> bool:
+        """Whether any test module is in scope (gates need tests to judge)."""
+        return any(info.is_test for info in self.modules.values())
+
+    def tests_importing(self, dotted: str) -> List[ModuleInfo]:
+        """Test modules that import ``dotted``, in path order."""
+        found = [
+            info
+            for info in self.modules.values()
+            if info.is_test and dotted in info.imported_modules
+        ]
+        found.sort(key=lambda info: info.path)
+        return found
+
+    def module_for_path(self, path: str) -> Optional[ModuleInfo]:
+        """The module whose source file is ``path`` (as recorded)."""
+        for info in self.modules.values():
+            if info.path == path:
+                return info
+        return None
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a source path, layout-anchor based.
+
+    Anchors, in order: the last ``src`` component (dropped), then the
+    first ``repro`` / last ``tests`` / last ``tools`` component (kept).
+    This maps both the real tree (``src/repro/...``, ``tests/...``) and
+    the fixture trees the linter's own tests build under ``tmp_path``.
+    """
+    parts = list(path.with_suffix("").parts)
+    tail: List[str]
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        tail = parts[anchor + 1 :]
+    elif "repro" in parts:
+        tail = parts[parts.index("repro") :]
+    elif "tests" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("tests")
+        tail = parts[anchor:]
+    elif "tools" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("tools")
+        tail = parts[anchor:]
+    else:
+        tail = [parts[-1]]
+    if len(tail) > 1 and tail[-1] == "__init__":
+        tail = tail[:-1]
+    return ".".join(tail)
+
+
+def _iter_top_level(tree: ast.Module):
+    """Top-level statements, descending into If/Try guards (not functions)."""
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop(0)
+        yield node
+        if isinstance(node, (ast.If, ast.Try)):
+            stack = list(ast.iter_child_nodes(node)) + stack
+
+
+def _mutable_kind(value: ast.AST) -> Optional[str]:
+    """The container kind of a module-level value, or None if immutable."""
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        if value.func.id in _MUTABLE_CALLS:
+            return value.func.id if value.func.id in ("dict", "list", "set") else "container"
+    return None
+
+
+def _decorator_name(node: ast.AST) -> Optional[str]:
+    """Trailing name of a decorator expression (``functools.lru_cache`` -> ``lru_cache``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _collect_state(tree: ast.Module, module: str) -> Dict[str, ModuleState]:
+    """Module-level mutable bindings: containers, memo caches, rebound globals."""
+    state: Dict[str, ModuleState] = {}
+    top_level_names: Dict[str, int] = {}
+    for node in _iter_top_level(tree):
+        if isinstance(node, ast.Assign):
+            kind = _mutable_kind(node.value)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    top_level_names.setdefault(target.id, node.lineno)
+                    if kind is not None and target.id != "__all__":
+                        state.setdefault(
+                            target.id,
+                            ModuleState(module, target.id, kind, node.lineno),
+                        )
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            top_level_names.setdefault(node.target.id, node.lineno)
+            if node.value is not None:
+                kind = _mutable_kind(node.value)
+                if kind is not None:
+                    state.setdefault(
+                        node.target.id,
+                        ModuleState(module, node.target.id, kind, node.lineno),
+                    )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                if _decorator_name(decorator) in _CACHE_DECORATORS:
+                    state.setdefault(
+                        node.name,
+                        ModuleState(module, node.name, "lru_cache", node.lineno),
+                    )
+    # A top-level name some function rebinds via ``global`` is mutable
+    # module state regardless of the bound value's own mutability.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            for name in node.names:
+                if name in top_level_names and name not in state:
+                    state[name] = ModuleState(
+                        module, name, "rebound-global", top_level_names[name]
+                    )
+    return state
+
+
+def _collect_imports(
+    tree: ast.Module, module: str
+) -> Tuple[Dict[str, Tuple[str, Optional[str]]], Set[str]]:
+    """(local bindings, imported dotted modules) for one module."""
+    bindings: Dict[str, Tuple[str, Optional[str]]] = {}
+    imported: Set[str] = set()
+    package_parts = module.split(".")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imported.add(alias.name)
+                if alias.asname:
+                    bindings[alias.asname] = (alias.name, None)
+                else:
+                    root = alias.name.split(".")[0]
+                    bindings.setdefault(root, (root, None))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = package_parts[: len(package_parts) - node.level]
+                source = ".".join(base + ([node.module] if node.module else []))
+            else:
+                source = node.module or ""
+            if not source:
+                continue
+            imported.add(source)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                # ``from pkg import mod`` may bind a submodule; record the
+                # dotted candidate so rule code can resolve either way.
+                imported.add(f"{source}.{alias.name}")
+                bindings[local] = (source, alias.name)
+    return bindings, imported
+
+
+def build_module_info(path: Path, source: str) -> ModuleInfo:
+    """Parse one module and extract its model entry.
+
+    Raises:
+        SyntaxError: if the source does not parse.
+    """
+    tree = ast.parse(source, filename=str(path))
+    name = module_name_for(path)
+    bindings, imported = _collect_imports(tree, name)
+    return ModuleInfo(
+        name=name,
+        path=path.as_posix(),
+        tree=tree,
+        lines=source.splitlines(),
+        is_test=is_test_path(path),
+        bindings=bindings,
+        imported_modules=imported,
+        state=_collect_state(tree, name),
+    )
+
+
+def _load_cache(cache_path: Path) -> Dict[str, Tuple[Tuple[int, int], ModuleInfo]]:
+    try:
+        with cache_path.open("rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.PickleError, EOFError, AttributeError, ValueError):
+        return {}
+    if not isinstance(payload, dict) or payload.get("version") != _CACHE_VERSION:
+        return {}
+    entries = payload.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def _save_cache(
+    cache_path: Path, entries: Dict[str, Tuple[Tuple[int, int], ModuleInfo]]
+) -> None:
+    payload = {"version": _CACHE_VERSION, "entries": entries}
+    tmp = cache_path.with_suffix(cache_path.suffix + ".tmp")
+    try:
+        with tmp.open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(cache_path)
+    except OSError:
+        # A read-only checkout just re-parses next run; never fail a lint
+        # over its own cache.
+        try:
+            tmp.unlink()
+        except OSError:
+            return
+
+
+def build_project(
+    paths: Iterable[Path], cache_path: Optional[Path] = None
+) -> ProjectModel:
+    """Build the whole-program model over every ``.py`` file under ``paths``.
+
+    Args:
+        paths: files/directories, expanded like the per-file lint pass.
+        cache_path: optional on-disk model cache.  Entries are keyed by
+            resolved path and validated against ``(mtime_ns, size)``, so
+            only changed files are re-parsed; pass ``None`` to always
+            parse from scratch.
+    """
+    cache: Dict[str, Tuple[Tuple[int, int], ModuleInfo]] = {}
+    if cache_path is not None:
+        cache = _load_cache(cache_path)
+    fresh: Dict[str, Tuple[Tuple[int, int], ModuleInfo]] = {}
+    modules: Dict[str, ModuleInfo] = {}
+    parse_errors: List[str] = []
+    dirty = False
+    for path in iter_python_files(paths):
+        key = str(path.resolve())
+        stat = path.stat()
+        signature = (stat.st_mtime_ns, stat.st_size)
+        entry = cache.get(key)
+        if entry is not None and entry[0] == signature:
+            info = entry[1]
+        else:
+            dirty = True
+            try:
+                info = build_module_info(path, path.read_text(encoding="utf-8"))
+            except SyntaxError as exc:
+                parse_errors.append(f"{path}: {exc.msg} (line {exc.lineno})")
+                continue
+        fresh[key] = (signature, info)
+        modules[info.name] = info
+    if cache_path is not None and (dirty or len(fresh) != len(cache)):
+        _save_cache(cache_path, fresh)
+    state: Dict[Tuple[str, str], ModuleState] = {}
+    for info in modules.values():
+        for record in info.state.values():
+            state[(info.name, record.name)] = record
+    return ProjectModel(modules=modules, state=state, parse_errors=parse_errors)

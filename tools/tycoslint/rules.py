@@ -22,6 +22,10 @@ but that generic linters do not check:
   ``repro/core/pyramid.py``; a hand-rolled ``reshape(...).mean(...)``
   elsewhere silently diverges from the pyramid containment lemma the
   multiscale search's recall guarantee rests on.
+
+The cross-module families (TY101+: fork-safety, determinism, gate
+coverage) live in :mod:`tools.tycoslint.program_rules` -- they need the
+whole-program model, not a single AST.
 """
 
 from __future__ import annotations
