@@ -25,6 +25,7 @@ from repro._types import FloatArray
 from repro.core.config import TycosConfig
 from repro.core.tycos import Tycos, TycosResult
 from repro.experiments.reporting import format_table, title
+from repro.mi.backends.dispatch import backend_metadata
 from repro.mi.normalized import normalized_mi
 
 __all__ = [
@@ -81,13 +82,17 @@ class PairwiseReport:
     ``notes`` records execution advisories that don't affect the results
     themselves -- e.g. that a parallel request was served serially on a
     single-core host -- so a scan's performance is attributable from the
-    report alone.
+    report alone.  ``metadata`` records the execution environment of the
+    scan (kernel backend, precision tier, numba version) so a saved report
+    states *how* its numbers were produced; see
+    :func:`repro.mi.backends.dispatch.backend_metadata` for the keys.
     """
 
     findings: List[PairFinding] = field(default_factory=list)
     skipped: List[Tuple[str, str]] = field(default_factory=list)
     failures: List[PairFailure] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    metadata: Dict[str, str] = field(default_factory=dict)
 
     def correlated(self) -> List[PairFinding]:
         """Pairs with at least one extracted window, strongest first."""
@@ -245,7 +250,7 @@ def scan_pairs(
             n_jobs=n_jobs,
         )
 
-    report = PairwiseReport()
+    report = PairwiseReport(metadata=backend_metadata(config.backend, config.precision))
     for source, target in pair_list:
         try:
             tag, finding = _evaluate_pair(

@@ -36,6 +36,7 @@ from repro._types import FloatArray
 from repro.analysis.pairwise import PairFailure, PairwiseReport, _evaluate_pair
 from repro.core.config import TycosConfig
 from repro.core.tycos import Tycos
+from repro.mi.backends.dispatch import backend_metadata
 
 __all__ = [
     "scan_pairs_parallel",
@@ -397,7 +398,7 @@ def scan_pairs_parallel(
         for index, tag, payload in chunk_result:
             slots[index] = (tag, payload)
 
-    report = PairwiseReport()
+    report = PairwiseReport(metadata=backend_metadata(config.backend, config.precision))
     for slot in slots:
         if slot is None:  # pragma: no cover - map() either fills all or raises
             raise RuntimeError("parallel scan lost a pair result")

@@ -1,0 +1,39 @@
+"""Optional compiled kernel backends for the KSG scoring hot loops.
+
+The TYCOS search spends nearly all its time in three kernels: the
+max-norm k-NN selection (workspace blocks and the grid index), the
+marginal strip counts over presorted projections, and the fused
+delta-ring window-geometry lattice the batched scorer runs per LAHC
+neighborhood.  This package hosts the *backend* realizations of those
+kernels:
+
+* :mod:`repro.mi.backends.numpy_backend` -- the canonical pure-numpy
+  reference.  Every backend kernel is defined by lexicographic
+  ``(distance, index)`` neighbor selection, which (unlike
+  ``argpartition``) has exactly one correct answer on ties, so a
+  compiled implementation can be asserted bit-identical to it.
+* :mod:`repro.mi.backends._kernels` -- the same kernels written as
+  plain-Python loops that ``numba.njit`` can compile unchanged (and
+  tests can run interpreted when numba is absent).
+* :mod:`repro.mi.backends.numba_backend` -- the only module in the
+  repository allowed to import :mod:`numba` (tycoslint rule TY115);
+  applies ``njit`` to the loop kernels.
+* :mod:`repro.mi.backends.dispatch` -- the single selection point:
+  ``get_kernels(backend, precision)`` resolves a
+  :class:`~repro.mi.backends.dispatch.KernelSet` with lazy numba
+  import, one-time warm-up compilation and automatic per-kernel
+  fallback to the numpy reference.
+
+The default engine configuration (``TycosConfig.backend="numpy"``,
+``precision="float64"``) bypasses this package entirely and keeps the
+legacy numpy paths bit-for-bit unchanged.
+"""
+
+from repro.mi.backends.dispatch import (
+    KernelSet,
+    backend_metadata,
+    get_kernels,
+    numba_version,
+)
+
+__all__ = ["KernelSet", "backend_metadata", "get_kernels", "numba_version"]

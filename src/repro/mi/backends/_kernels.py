@@ -1,0 +1,657 @@
+"""Loop-form kernel sources shared by the interpreted and numba engines.
+
+Every public ``make_*`` factory returns a plain-Python function written
+in the restricted style ``numba.njit`` compiles unchanged: scalar loops,
+preallocated output arrays, no Python containers, no closures other than
+already-built kernel functions.  :mod:`repro.mi.backends.numba_backend`
+wraps these factories' results in ``njit``; tests run them interpreted
+so the exact source that gets compiled is exercised even on hosts
+without numba.
+
+Selection semantics are *canonical*: the k nearest neighbors of a point
+are the k lexicographically smallest ``(distance, index)`` pairs.  On
+tie-free inputs this coincides with the legacy ``argpartition`` paths;
+on ties it has exactly one correct answer, which is what makes the
+bit-exactness gate against :mod:`repro.mi.backends.numpy_backend`
+meaningful.  Neighbor index rows are emitted in ascending index order.
+
+The float32 tier selects *candidates* in float32 (``k`` plus
+``F32_CANDIDATE_PAD`` of them) and then re-ranks the candidates with
+exact float64 lexicographic selection, so the radii and marginal counts
+are always computed in float64; float32 is used only to cut the memory
+bandwidth of the O(m^2) distance sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+import numpy.typing as npt
+
+from repro._types import FloatArray, IntArray
+
+Float32Array = npt.NDArray[np.float32]
+
+__all__ = [
+    "F32_CANDIDATE_PAD",
+    "GRID_FULL_SCAN_MARGIN",
+    "make_bisect_left",
+    "make_bisect_right",
+    "make_cluster_counts",
+    "make_cluster_counts_f32",
+    "make_grid_knn",
+    "make_marginal_counts",
+    "make_topk_block",
+    "make_window_counts",
+    "make_window_counts_f32",
+    "build_interpreted_suite",
+]
+
+# Extra float32 candidates kept before the exact float64 re-rank.  A
+# wrong final selection needs the true k-th neighbor to fall outside the
+# float32 top-(k + pad), i.e. pad+1 simultaneous float32 rank inversions.
+F32_CANDIDATE_PAD = 8
+
+# Ring radius slack before the grid search falls back to a full scan,
+# mirroring the degenerate-distribution guard in ``GridIndex.knn``.
+GRID_FULL_SCAN_MARGIN = 2
+
+BisectFn = Callable[[FloatArray, float], int]
+
+
+def make_bisect_left() -> BisectFn:
+    """Return ``np.searchsorted(a, value, side="left")`` as a scalar loop."""
+
+    def bisect_left(a: FloatArray, value: float) -> int:
+        lo = 0
+        hi = a.shape[0]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if a[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    return bisect_left
+
+
+def make_bisect_right() -> BisectFn:
+    """Return ``np.searchsorted(a, value, side="right")`` as a scalar loop."""
+
+    def bisect_right(a: FloatArray, value: float) -> int:
+        lo = 0
+        hi = a.shape[0]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if a[mid] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    return bisect_right
+
+
+TopKFn = Callable[
+    [FloatArray, FloatArray, FloatArray, int, FloatArray, FloatArray, FloatArray, IntArray],
+    None,
+]
+
+
+def make_topk_block() -> TopKFn:
+    """Per-row canonical top-k over a precomputed distance block.
+
+    ``dist``/``adx``/``ady`` are ``(m, m)`` float64 arrays (Chebyshev
+    distance and per-axis absolute differences) with ``inf`` on the
+    diagonal, exactly as ``PairDistanceWorkspace`` lays them out.
+    Outputs are the k-th neighbor distance, the per-axis radii and the
+    ascending-sorted neighbor index rows.
+    """
+
+    def topk_block(
+        dist: FloatArray,
+        adx: FloatArray,
+        ady: FloatArray,
+        k: int,
+        out_kth: FloatArray,
+        out_ex: FloatArray,
+        out_ey: FloatArray,
+        out_idx: IntArray,
+    ) -> None:
+        m = dist.shape[0]
+        best_d = np.empty(k, dtype=np.float64)
+        best_j = np.empty(k, dtype=np.int64)
+        for i in range(m):
+            count = 0
+            for j in range(m):
+                d = dist[i, j]
+                if count < k:
+                    pos = count
+                    count += 1
+                elif d < best_d[k - 1] or (d == best_d[k - 1] and j < best_j[k - 1]):
+                    pos = k - 1
+                else:
+                    continue
+                while pos > 0 and (
+                    best_d[pos - 1] > d or (best_d[pos - 1] == d and best_j[pos - 1] > j)
+                ):
+                    best_d[pos] = best_d[pos - 1]
+                    best_j[pos] = best_j[pos - 1]
+                    pos -= 1
+                best_d[pos] = d
+                best_j[pos] = j
+            out_kth[i] = best_d[k - 1]
+            ex = -math.inf
+            ey = -math.inf
+            for t in range(k):
+                j = best_j[t]
+                if adx[i, j] > ex:
+                    ex = adx[i, j]
+                if ady[i, j] > ey:
+                    ey = ady[i, j]
+            out_ex[i] = ex
+            out_ey[i] = ey
+            # Canonical row order for the indices output is ascending.
+            for t in range(1, k):
+                j = best_j[t]
+                pos = t
+                while pos > 0 and best_j[pos - 1] > j:
+                    best_j[pos] = best_j[pos - 1]
+                    pos -= 1
+                best_j[pos] = j
+            for t in range(k):
+                out_idx[i, t] = best_j[t]
+
+    return topk_block
+
+
+MarginalFn = Callable[[FloatArray, FloatArray, bool, FloatArray, IntArray], None]
+
+
+def make_marginal_counts(bisect_left: BisectFn, bisect_right: BisectFn) -> MarginalFn:
+    """Marginal strip counts over a presorted projection.
+
+    Replicates ``repro.mi.neighbors.marginal_counts`` exactly: strict
+    mode counts ``|v_j - v_i| < r_i`` (searchsorted right/left), loose
+    mode counts ``|v_j - v_i| <= r_i`` (left/right); the query point
+    itself is excluded and counts clamp at zero.
+    """
+
+    def marginal_counts_kernel(
+        values: FloatArray,
+        radii: FloatArray,
+        strict: bool,
+        order: FloatArray,
+        out: IntArray,
+    ) -> None:
+        n = values.shape[0]
+        for i in range(n):
+            v = values[i]
+            r = radii[i]
+            if strict:
+                left = bisect_right(order, v - r)
+                right = bisect_left(order, v + r)
+            else:
+                left = bisect_left(order, v - r)
+                right = bisect_right(order, v + r)
+            c = right - left - 1
+            if c < 0:
+                c = 0
+            out[i] = c
+
+    return marginal_counts_kernel
+
+
+WindowCountsFn = Callable[[FloatArray, FloatArray, int, IntArray, IntArray], None]
+
+
+def make_window_counts(bisect_left: BisectFn, bisect_right: BisectFn) -> WindowCountsFn:
+    """Fused algorithm-2 window geometry: canonical k-NN + marginal counts.
+
+    One pass over a single window's raw float64 projections; no O(m^2)
+    workspace is materialized.  Emits the raw (unclamped) marginal
+    counts the estimator reduction expects.
+    """
+
+    def window_counts(
+        x: FloatArray,
+        y: FloatArray,
+        k: int,
+        out_nx: IntArray,
+        out_ny: IntArray,
+    ) -> None:
+        m = x.shape[0]
+        sx = np.sort(x)
+        sy = np.sort(y)
+        best_d = np.empty(k, dtype=np.float64)
+        best_j = np.empty(k, dtype=np.int64)
+        for i in range(m):
+            xi = x[i]
+            yi = y[i]
+            count = 0
+            for j in range(m):
+                if j == i:
+                    continue
+                dx = abs(x[j] - xi)
+                dy = abs(y[j] - yi)
+                d = dx if dx > dy else dy
+                if count < k:
+                    pos = count
+                    count += 1
+                elif d < best_d[k - 1] or (d == best_d[k - 1] and j < best_j[k - 1]):
+                    pos = k - 1
+                else:
+                    continue
+                while pos > 0 and (
+                    best_d[pos - 1] > d or (best_d[pos - 1] == d and best_j[pos - 1] > j)
+                ):
+                    best_d[pos] = best_d[pos - 1]
+                    best_j[pos] = best_j[pos - 1]
+                    pos -= 1
+                best_d[pos] = d
+                best_j[pos] = j
+            ex = -math.inf
+            ey = -math.inf
+            for t in range(k):
+                j = best_j[t]
+                dx = abs(x[j] - xi)
+                dy = abs(y[j] - yi)
+                if dx > ex:
+                    ex = dx
+                if dy > ey:
+                    ey = dy
+            left = bisect_left(sx, xi - ex)
+            right = bisect_right(sx, xi + ex)
+            c = right - left - 1
+            out_nx[i] = c if c > 0 else 0
+            left = bisect_left(sy, yi - ey)
+            right = bisect_right(sy, yi + ey)
+            c = right - left - 1
+            out_ny[i] = c if c > 0 else 0
+
+    return window_counts
+
+
+WindowCountsF32Fn = Callable[
+    [FloatArray, FloatArray, Float32Array, Float32Array, int, IntArray, IntArray], None
+]
+
+
+def make_window_counts_f32(
+    bisect_left: BisectFn, bisect_right: BisectFn
+) -> WindowCountsF32Fn:
+    """float32 tier of :func:`make_window_counts`.
+
+    The O(m^2) distance sweep runs on the float32 copies and keeps the
+    ``min(k + F32_CANDIDATE_PAD, m - 1)`` lexicographically smallest
+    candidates; the final k are then re-selected among the candidates
+    with exact float64 lexicographic order, and all radii and counts are
+    float64.  Counts therefore match the float64 kernel whenever the
+    true k nearest neighbors survive the float32 pruning.
+    """
+
+    def window_counts_f32(
+        x: FloatArray,
+        y: FloatArray,
+        x32: Float32Array,
+        y32: Float32Array,
+        k: int,
+        out_nx: IntArray,
+        out_ny: IntArray,
+    ) -> None:
+        m = x.shape[0]
+        kc = k + F32_CANDIDATE_PAD
+        if kc > m - 1:
+            kc = m - 1
+        sx = np.sort(x)
+        sy = np.sort(y)
+        cand_d = np.empty(kc, dtype=np.float32)
+        cand_j = np.empty(kc, dtype=np.int64)
+        best_d = np.empty(k, dtype=np.float64)
+        best_j = np.empty(k, dtype=np.int64)
+        for i in range(m):
+            xi32 = x32[i]
+            yi32 = y32[i]
+            count = 0
+            for j in range(m):
+                if j == i:
+                    continue
+                dx32 = abs(x32[j] - xi32)
+                dy32 = abs(y32[j] - yi32)
+                d32 = dx32 if dx32 > dy32 else dy32
+                if count < kc:
+                    pos = count
+                    count += 1
+                elif d32 < cand_d[kc - 1] or (d32 == cand_d[kc - 1] and j < cand_j[kc - 1]):
+                    pos = kc - 1
+                else:
+                    continue
+                while pos > 0 and (
+                    cand_d[pos - 1] > d32 or (cand_d[pos - 1] == d32 and cand_j[pos - 1] > j)
+                ):
+                    cand_d[pos] = cand_d[pos - 1]
+                    cand_j[pos] = cand_j[pos - 1]
+                    pos -= 1
+                cand_d[pos] = d32
+                cand_j[pos] = j
+            # Exact float64 re-rank of the float32 candidates.
+            xi = x[i]
+            yi = y[i]
+            bcount = 0
+            for t in range(count):
+                j = cand_j[t]
+                dx = abs(x[j] - xi)
+                dy = abs(y[j] - yi)
+                d = dx if dx > dy else dy
+                if bcount < k:
+                    pos = bcount
+                    bcount += 1
+                elif d < best_d[k - 1] or (d == best_d[k - 1] and j < best_j[k - 1]):
+                    pos = k - 1
+                else:
+                    continue
+                while pos > 0 and (
+                    best_d[pos - 1] > d or (best_d[pos - 1] == d and best_j[pos - 1] > j)
+                ):
+                    best_d[pos] = best_d[pos - 1]
+                    best_j[pos] = best_j[pos - 1]
+                    pos -= 1
+                best_d[pos] = d
+                best_j[pos] = j
+            ex = -math.inf
+            ey = -math.inf
+            for t in range(k):
+                j = best_j[t]
+                dx = abs(x[j] - xi)
+                dy = abs(y[j] - yi)
+                if dx > ex:
+                    ex = dx
+                if dy > ey:
+                    ey = dy
+            left = bisect_left(sx, xi - ex)
+            right = bisect_right(sx, xi + ex)
+            c = right - left - 1
+            out_nx[i] = c if c > 0 else 0
+            left = bisect_left(sy, yi - ey)
+            right = bisect_right(sy, yi + ey)
+            c = right - left - 1
+            out_ny[i] = c if c > 0 else 0
+
+    return window_counts_f32
+
+
+ClusterCountsFn = Callable[
+    [FloatArray, FloatArray, IntArray, IntArray, IntArray, IntArray, IntArray], None
+]
+
+
+def make_cluster_counts(window_counts: WindowCountsFn) -> ClusterCountsFn:
+    """Fused delta-ring lattice: run every same-delay window in one call.
+
+    ``x``/``y`` are the union slices of the raw projections at a fixed
+    delay; ``offsets``/``sizes`` describe each window relative to the
+    union start, and ``ks`` the per-window effective neighbor count.
+    Counts for window ``w`` land at ``out[pos : pos + sizes[w]]`` where
+    ``pos`` is the running sum of earlier sizes.
+    """
+
+    def cluster_counts(
+        x: FloatArray,
+        y: FloatArray,
+        offsets: IntArray,
+        sizes: IntArray,
+        ks: IntArray,
+        out_nx: IntArray,
+        out_ny: IntArray,
+    ) -> None:
+        pos = 0
+        for w in range(offsets.shape[0]):
+            off = offsets[w]
+            m = sizes[w]
+            window_counts(
+                x[off : off + m],
+                y[off : off + m],
+                ks[w],
+                out_nx[pos : pos + m],
+                out_ny[pos : pos + m],
+            )
+            pos += m
+
+    return cluster_counts
+
+
+ClusterCountsF32Fn = Callable[
+    [
+        FloatArray,
+        FloatArray,
+        Float32Array,
+        Float32Array,
+        IntArray,
+        IntArray,
+        IntArray,
+        IntArray,
+        IntArray,
+    ],
+    None,
+]
+
+
+def make_cluster_counts_f32(window_counts_f32: WindowCountsF32Fn) -> ClusterCountsF32Fn:
+    """float32 tier of :func:`make_cluster_counts` (union cast once)."""
+
+    def cluster_counts_f32(
+        x: FloatArray,
+        y: FloatArray,
+        x32: Float32Array,
+        y32: Float32Array,
+        offsets: IntArray,
+        sizes: IntArray,
+        ks: IntArray,
+        out_nx: IntArray,
+        out_ny: IntArray,
+    ) -> None:
+        pos = 0
+        for w in range(offsets.shape[0]):
+            off = offsets[w]
+            m = sizes[w]
+            window_counts_f32(
+                x[off : off + m],
+                y[off : off + m],
+                x32[off : off + m],
+                y32[off : off + m],
+                ks[w],
+                out_nx[pos : pos + m],
+                out_ny[pos : pos + m],
+            )
+            pos += m
+
+    return cluster_counts_f32
+
+
+GridKnnFn = Callable[
+    [
+        FloatArray,
+        FloatArray,
+        int,
+        float,
+        int,
+        int,
+        IntArray,
+        IntArray,
+        IntArray,
+        IntArray,
+        FloatArray,
+        FloatArray,
+        FloatArray,
+        IntArray,
+    ],
+    None,
+]
+
+
+def make_grid_knn() -> GridKnnFn:
+    """Canonical ring-expansion k-NN over a CSR bucket grid.
+
+    The grid layout (cell side, per-point cell coordinates, stable
+    CSR ordering) is built by the caller with the same cell math as
+    ``GridIndex``.  Rings expand until the worst selected distance is
+    *strictly* below ``(r - 1) * cell``: points in unvisited rings sit
+    at distance >= r * cell minus at most a few ulps of cell-boundary
+    rounding, so the one-cell slack plus the strict comparison
+    guarantees no unvisited point can displace a selected one even on
+    exact distance ties, keeping the result canonical.  Degenerate
+    distributions fall back to a full scan once the ring radius exceeds
+    ``2*sqrt(m) + margin``.
+    """
+
+    def grid_knn(
+        x: FloatArray,
+        y: FloatArray,
+        k: int,
+        cell: float,
+        ncx: int,
+        ncy: int,
+        starts: IntArray,
+        order: IntArray,
+        cx: IntArray,
+        cy: IntArray,
+        out_kth: FloatArray,
+        out_ex: FloatArray,
+        out_ey: FloatArray,
+        out_idx: IntArray,
+    ) -> None:
+        m = x.shape[0]
+        limit = 2 * int(math.sqrt(float(m))) + GRID_FULL_SCAN_MARGIN
+        best_d = np.empty(k, dtype=np.float64)
+        best_j = np.empty(k, dtype=np.int64)
+        for i in range(m):
+            xi = x[i]
+            yi = y[i]
+            qcx = cx[i]
+            qcy = cy[i]
+            count = 0
+            r = 0
+            full_scan = False
+            while True:
+                gx_lo = qcx - r
+                gx_hi = qcx + r
+                for gx in range(gx_lo, gx_hi + 1):
+                    if gx < 0 or gx >= ncx:
+                        continue
+                    ax = gx - qcx
+                    if ax < 0:
+                        ax = -ax
+                    for gy in range(qcy - r, qcy + r + 1):
+                        if gy < 0 or gy >= ncy:
+                            continue
+                        ay = gy - qcy
+                        if ay < 0:
+                            ay = -ay
+                        ring = ax if ax > ay else ay
+                        if ring != r:
+                            continue
+                        cid = gx * ncy + gy
+                        for t in range(starts[cid], starts[cid + 1]):
+                            j = order[t]
+                            if j == i:
+                                continue
+                            dx = abs(x[j] - xi)
+                            dy = abs(y[j] - yi)
+                            d = dx if dx > dy else dy
+                            if count < k:
+                                pos = count
+                                count += 1
+                            elif d < best_d[k - 1] or (
+                                d == best_d[k - 1] and j < best_j[k - 1]
+                            ):
+                                pos = k - 1
+                            else:
+                                continue
+                            while pos > 0 and (
+                                best_d[pos - 1] > d
+                                or (best_d[pos - 1] == d and best_j[pos - 1] > j)
+                            ):
+                                best_d[pos] = best_d[pos - 1]
+                                best_j[pos] = best_j[pos - 1]
+                                pos -= 1
+                            best_d[pos] = d
+                            best_j[pos] = j
+                if count >= k and best_d[k - 1] < (r - 1) * cell:
+                    break
+                r += 1
+                if r > limit:
+                    full_scan = True
+                    break
+            if full_scan:
+                count = 0
+                for j in range(m):
+                    if j == i:
+                        continue
+                    dx = abs(x[j] - xi)
+                    dy = abs(y[j] - yi)
+                    d = dx if dx > dy else dy
+                    if count < k:
+                        pos = count
+                        count += 1
+                    elif d < best_d[k - 1] or (d == best_d[k - 1] and j < best_j[k - 1]):
+                        pos = k - 1
+                    else:
+                        continue
+                    while pos > 0 and (
+                        best_d[pos - 1] > d or (best_d[pos - 1] == d and best_j[pos - 1] > j)
+                    ):
+                        best_d[pos] = best_d[pos - 1]
+                        best_j[pos] = best_j[pos - 1]
+                        pos -= 1
+                    best_d[pos] = d
+                    best_j[pos] = j
+            out_kth[i] = best_d[k - 1]
+            ex = -math.inf
+            ey = -math.inf
+            for t in range(k):
+                j = best_j[t]
+                dx = abs(x[j] - xi)
+                dy = abs(y[j] - yi)
+                if dx > ex:
+                    ex = dx
+                if dy > ey:
+                    ey = dy
+            out_ex[i] = ex
+            out_ey[i] = ey
+            for t in range(1, k):
+                j = best_j[t]
+                pos = t
+                while pos > 0 and best_j[pos - 1] > j:
+                    best_j[pos] = best_j[pos - 1]
+                    pos -= 1
+                best_j[pos] = j
+            for t in range(k):
+                out_idx[i, t] = best_j[t]
+
+    return grid_knn
+
+
+def build_interpreted_suite() -> "dict[str, Callable[..., None]]":
+    """Assemble the interpreted (uncompiled) kernel suite.
+
+    Used by the parity tests so the exact loop source handed to numba is
+    exercised on hosts where numba is absent; the dispatch layer never
+    serves these (the vectorized numpy reference is faster interpreted).
+    """
+
+    bisect_left = make_bisect_left()
+    bisect_right = make_bisect_right()
+    window_counts = make_window_counts(bisect_left, bisect_right)
+    window_counts_f32 = make_window_counts_f32(bisect_left, bisect_right)
+    return {
+        "topk_block": make_topk_block(),
+        "marginal_counts": make_marginal_counts(bisect_left, bisect_right),
+        "window_counts": window_counts,
+        "window_counts_f32": window_counts_f32,
+        "cluster_counts": make_cluster_counts(window_counts),
+        "cluster_counts_f32": make_cluster_counts_f32(window_counts_f32),
+        "grid_knn": make_grid_knn(),
+    }

@@ -1,0 +1,400 @@
+"""Single selection point for compiled kernel backends.
+
+``get_kernels(backend, precision)`` resolves the engine that will serve
+the hot kernels for a search:
+
+* ``("numpy", "float64")`` — the default — returns ``None``: callers
+  keep the legacy vectorized paths, bit-for-bit unchanged.
+* ``("auto", "float64")`` returns the compiled :class:`KernelSet` when
+  numba imports and every kernel warm-compiles, and ``None`` (legacy)
+  otherwise.
+* ``backend="numba"`` or ``precision="float32"`` always returns a
+  :class:`KernelSet`.  Kernel *semantics* are host-independent: when
+  numba is absent or a kernel fails to compile, that kernel is served
+  by the canonical numpy reference in
+  :mod:`repro.mi.backends.numpy_backend`, which the compiled kernels
+  are asserted bit-identical to — availability affects only speed.
+
+Resolution is memoized per ``(backend, precision)`` so the one-time
+numba import and warm-up compile are paid once per process; the memo is
+registered in ``tools.tycoslint.registry.CACHE_MODULES`` and is
+fork-safe because a child process rebuilds it deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro._types import FloatArray, IntArray
+from repro.mi.backends import numpy_backend
+
+__all__ = [
+    "BACKENDS",
+    "PRECISIONS",
+    "KernelSet",
+    "backend_metadata",
+    "get_kernels",
+    "numba_version",
+]
+
+BACKENDS: Tuple[str, ...] = ("auto", "numpy", "numba")
+PRECISIONS: Tuple[str, ...] = ("float64", "float32")
+
+KnnTuple = Tuple[FloatArray, FloatArray, FloatArray, IntArray]
+TopKCallable = Callable[[FloatArray, FloatArray, FloatArray, int], KnnTuple]
+MarginalCallable = Callable[[FloatArray, FloatArray, bool, Optional[FloatArray]], IntArray]
+WindowCallable = Callable[[FloatArray, FloatArray, int], Tuple[IntArray, IntArray]]
+ClusterCallable = Callable[
+    [FloatArray, FloatArray, IntArray, IntArray, IntArray], Tuple[IntArray, IntArray]
+]
+GridCallable = Callable[[FloatArray, FloatArray, int], KnnTuple]
+
+
+@dataclass(frozen=True)
+class KernelSet:
+    """Resolved kernel suite plus the provenance the reports record.
+
+    ``backend`` is what the caller asked for; ``engine`` is what
+    actually serves the calls (``"numba"`` only when at least one
+    compiled kernel is active).  ``fallbacks`` names kernels that fell
+    back to the numpy reference despite a numba request.
+    """
+
+    backend: str
+    engine: str
+    precision: str
+    compiled: bool
+    fallbacks: Tuple[str, ...]
+    topk: TopKCallable
+    marginal: MarginalCallable
+    window_counts: WindowCallable
+    cluster_counts: ClusterCallable
+    grid_knn: GridCallable
+
+
+def _validate(backend: str, precision: str) -> None:
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if precision not in PRECISIONS:
+        raise ValueError(f"precision must be one of {PRECISIONS}, got {precision!r}")
+
+
+# Lazily probed numba backend module: unset -> [], absent -> [None],
+# present -> [module].  No environment reads, no import-time probing.
+_NUMBA_MODULE: "list[Optional[Any]]" = []
+
+# Memoized kernel sets; rebuilt identically in every process.
+_KERNEL_CACHE: Dict[Tuple[str, str], Optional[KernelSet]] = {}
+
+
+def _numba_backend() -> Any:
+    if not _NUMBA_MODULE:
+        try:
+            from repro.mi.backends import numba_backend
+        except Exception:
+            _NUMBA_MODULE.append(None)
+        else:
+            _NUMBA_MODULE.append(numba_backend)
+    return _NUMBA_MODULE[0]
+
+
+def numba_version() -> Optional[str]:
+    """The available numba version, or ``None`` when it cannot import."""
+
+    module = _numba_backend()
+    if module is None:
+        return None
+    return str(module.NUMBA_VERSION)
+
+
+def _numpy_marginal(
+    values: FloatArray, radii: FloatArray, strict: bool, presorted: Optional[FloatArray]
+) -> IntArray:
+    order = np.sort(values) if presorted is None else presorted
+    return numpy_backend.marginal_counts_ref(values, radii, strict, order)
+
+
+def _numpy_window(precision: str) -> WindowCallable:
+    if precision == "float64":
+        return numpy_backend.window_counts
+
+    def window(x: FloatArray, y: FloatArray, k: int) -> Tuple[IntArray, IntArray]:
+        return numpy_backend.window_counts_f32(
+            x, y, x.astype(np.float32), y.astype(np.float32), k
+        )
+
+    return window
+
+
+def _numpy_cluster(precision: str) -> ClusterCallable:
+    if precision == "float64":
+        return numpy_backend.cluster_counts
+
+    def cluster(
+        x: FloatArray,
+        y: FloatArray,
+        offsets: IntArray,
+        sizes: IntArray,
+        ks: IntArray,
+    ) -> Tuple[IntArray, IntArray]:
+        return numpy_backend.cluster_counts_f32(
+            x, y, x.astype(np.float32), y.astype(np.float32), offsets, sizes, ks
+        )
+
+    return cluster
+
+
+def _numpy_callables(precision: str) -> Dict[str, Any]:
+    return {
+        "topk": numpy_backend.topk_block,
+        "marginal": _numpy_marginal,
+        "window_counts": _numpy_window(precision),
+        "cluster_counts": _numpy_cluster(precision),
+        "grid_knn": numpy_backend.grid_knn_ref,
+    }
+
+
+def _wrap_topk(kernel: Callable[..., None]) -> TopKCallable:
+    def topk(dist: FloatArray, adx: FloatArray, ady: FloatArray, k: int) -> KnnTuple:
+        m = dist.shape[0]
+        kth = np.empty(m)
+        eps_x = np.empty(m)
+        eps_y = np.empty(m)
+        indices = np.empty((m, k), dtype=np.int64)
+        kernel(dist, adx, ady, k, kth, eps_x, eps_y, indices)
+        return kth, eps_x, eps_y, indices
+
+    return topk
+
+
+def _wrap_marginal(kernel: Callable[..., None]) -> MarginalCallable:
+    def marginal(
+        values: FloatArray,
+        radii: FloatArray,
+        strict: bool,
+        presorted: Optional[FloatArray],
+    ) -> IntArray:
+        order = np.sort(values) if presorted is None else presorted
+        out = np.empty(values.shape[0], dtype=np.int64)
+        kernel(values, radii, strict, order, out)
+        return out
+
+    return marginal
+
+
+def _wrap_window(kernel: Callable[..., None], precision: str) -> WindowCallable:
+    if precision == "float64":
+
+        def window(x: FloatArray, y: FloatArray, k: int) -> Tuple[IntArray, IntArray]:
+            m = x.shape[0]
+            n_x = np.empty(m, dtype=np.int64)
+            n_y = np.empty(m, dtype=np.int64)
+            kernel(x, y, k, n_x, n_y)
+            return n_x, n_y
+
+    else:
+
+        def window(x: FloatArray, y: FloatArray, k: int) -> Tuple[IntArray, IntArray]:
+            m = x.shape[0]
+            n_x = np.empty(m, dtype=np.int64)
+            n_y = np.empty(m, dtype=np.int64)
+            kernel(x, y, x.astype(np.float32), y.astype(np.float32), k, n_x, n_y)
+            return n_x, n_y
+
+    return window
+
+
+def _wrap_cluster(kernel: Callable[..., None], precision: str) -> ClusterCallable:
+    if precision == "float64":
+
+        def cluster(
+            x: FloatArray,
+            y: FloatArray,
+            offsets: IntArray,
+            sizes: IntArray,
+            ks: IntArray,
+        ) -> Tuple[IntArray, IntArray]:
+            total = int(sizes.sum())
+            n_x = np.empty(total, dtype=np.int64)
+            n_y = np.empty(total, dtype=np.int64)
+            kernel(x, y, offsets, sizes, ks, n_x, n_y)
+            return n_x, n_y
+
+    else:
+
+        def cluster(
+            x: FloatArray,
+            y: FloatArray,
+            offsets: IntArray,
+            sizes: IntArray,
+            ks: IntArray,
+        ) -> Tuple[IntArray, IntArray]:
+            total = int(sizes.sum())
+            n_x = np.empty(total, dtype=np.int64)
+            n_y = np.empty(total, dtype=np.int64)
+            kernel(
+                x, y, x.astype(np.float32), y.astype(np.float32), offsets, sizes, ks, n_x, n_y
+            )
+            return n_x, n_y
+
+    return cluster
+
+
+def _wrap_grid(kernel: Callable[..., None]) -> GridCallable:
+    def grid_knn(x: FloatArray, y: FloatArray, k: int) -> KnnTuple:
+        layout = numpy_backend.build_grid(x, y)
+        if layout is None:
+            return numpy_backend.grid_knn_ref(x, y, k)
+        m = x.shape[0]
+        kth = np.empty(m)
+        eps_x = np.empty(m)
+        eps_y = np.empty(m)
+        indices = np.empty((m, k), dtype=np.int64)
+        kernel(
+            x,
+            y,
+            k,
+            layout.cell,
+            layout.ncx,
+            layout.ncy,
+            layout.starts,
+            layout.order,
+            layout.cx,
+            layout.cy,
+            kth,
+            eps_x,
+            eps_y,
+            indices,
+        )
+        return kth, eps_x, eps_y, indices
+
+    return grid_knn
+
+
+# Which compiled kernel feeds each KernelSet slot, per precision.
+_SLOT_KERNELS = {
+    "float64": {
+        "topk": "topk_block",
+        "marginal": "marginal_counts",
+        "window_counts": "window_counts",
+        "cluster_counts": "cluster_counts",
+        "grid_knn": "grid_knn",
+    },
+    "float32": {
+        "topk": "topk_block",
+        "marginal": "marginal_counts",
+        "window_counts": "window_counts_f32",
+        "cluster_counts": "cluster_counts_f32",
+        "grid_knn": "grid_knn",
+    },
+}
+
+
+def _build_numba_set(backend: str, precision: str) -> Optional[KernelSet]:
+    """Build the compiled set, falling back per kernel on compile failure."""
+
+    module = _numba_backend()
+    if module is None:
+        if backend == "auto" and precision == "float64":
+            return None
+        numpy_set = _numpy_callables(precision)
+        return KernelSet(
+            backend=backend,
+            engine="numpy",
+            precision=precision,
+            compiled=False,
+            fallbacks=("numba-unavailable",),
+            **numpy_set,
+        )
+    compiled = module.compiled_kernels()
+    slots = _SLOT_KERNELS[precision]
+    numpy_set = _numpy_callables(precision)
+    resolved: Dict[str, Any] = {}
+    fallbacks = []
+    wrappers: Dict[str, Callable[[Callable[..., None]], Any]] = {
+        "topk": _wrap_topk,
+        "marginal": _wrap_marginal,
+        "window_counts": lambda fn: _wrap_window(fn, precision),
+        "cluster_counts": lambda fn: _wrap_cluster(fn, precision),
+        "grid_knn": _wrap_grid,
+    }
+    for slot, kernel_name in slots.items():
+        kernel = compiled[kernel_name]
+        try:
+            module.warm_up(kernel_name, kernel)
+        except Exception:
+            fallbacks.append(kernel_name)
+            resolved[slot] = numpy_set[slot]
+        else:
+            resolved[slot] = wrappers[slot](kernel)
+    any_compiled = len(fallbacks) < len(slots)
+    if backend == "auto" and precision == "float64" and fallbacks:
+        # auto promises legacy-identical behavior at full speed or the
+        # legacy engine itself; a partially-degraded suite is neither.
+        return None
+    return KernelSet(
+        backend=backend,
+        engine="numba" if any_compiled else "numpy",
+        precision=precision,
+        compiled=any_compiled,
+        fallbacks=tuple(fallbacks),
+        topk=resolved["topk"],
+        marginal=resolved["marginal"],
+        window_counts=resolved["window_counts"],
+        cluster_counts=resolved["cluster_counts"],
+        grid_knn=resolved["grid_knn"],
+    )
+
+
+def get_kernels(backend: str, precision: str = "float64") -> Optional[KernelSet]:
+    """Resolve the kernel suite for a backend/precision request.
+
+    Returns ``None`` when the legacy numpy paths should be used
+    unchanged (the default configuration, and ``auto`` when numba is
+    not available).
+    """
+
+    _validate(backend, precision)
+    key = (backend, precision)
+    if key not in _KERNEL_CACHE:
+        if backend == "numpy" and precision == "float64":
+            _KERNEL_CACHE[key] = None
+        elif backend == "numpy":
+            numpy_set = _numpy_callables(precision)
+            _KERNEL_CACHE[key] = KernelSet(
+                backend=backend,
+                engine="numpy",
+                precision=precision,
+                compiled=False,
+                fallbacks=(),
+                **numpy_set,
+            )
+        else:
+            _KERNEL_CACHE[key] = _build_numba_set(backend, precision)
+    return _KERNEL_CACHE[key]
+
+
+def backend_metadata(backend: str, precision: str = "float64") -> Dict[str, str]:
+    """Provenance strings for reports and the bench ``host`` block."""
+
+    kernels = get_kernels(backend, precision)
+    version = numba_version()
+    if kernels is None:
+        engine = "numpy-legacy"
+        compiled = "false"
+        fallbacks = ""
+    else:
+        engine = kernels.engine
+        compiled = "true" if kernels.compiled else "false"
+        fallbacks = ",".join(kernels.fallbacks)
+    return {
+        "backend": backend,
+        "precision": precision,
+        "engine": engine,
+        "compiled": compiled,
+        "fallbacks": fallbacks,
+        "numba": version if version is not None else "absent",
+    }

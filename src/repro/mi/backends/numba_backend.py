@@ -1,0 +1,156 @@
+"""The only module in the repository that imports :mod:`numba` (TY115).
+
+Importing this module raises ``ImportError`` when numba is absent;
+:mod:`repro.mi.backends.dispatch` catches that and serves the numpy
+reference instead.  Import itself is cheap — ``njit`` decoration is
+lazy — so probing for availability does not trigger compilation.
+Compilation happens once per kernel signature on the first call;
+:func:`warm_up` runs every kernel on tiny pinned inputs so the cost is
+paid at ``get_kernels()`` time rather than inside the first scored
+window, and so per-kernel compilation failures surface where the
+dispatch layer can fall back to numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import numba
+import numpy as np
+
+from repro.mi.backends import _kernels
+
+__all__ = ["NUMBA_VERSION", "compiled_kernels", "warm_up"]
+
+NUMBA_VERSION: str = str(numba.__version__)
+
+# fastmath stays off: bit-exactness against the numpy reference depends
+# on IEEE-faithful subtraction, abs, max and comparisons.  nogil lets
+# future intra-process parallelism overlap kernel calls.
+_JIT = numba.njit(cache=False, fastmath=False, nogil=True)
+
+
+def _build() -> Dict[str, Callable[..., None]]:
+    bisect_left = _JIT(_kernels.make_bisect_left())
+    bisect_right = _JIT(_kernels.make_bisect_right())
+    window_counts = _JIT(_kernels.make_window_counts(bisect_left, bisect_right))
+    window_counts_f32 = _JIT(_kernels.make_window_counts_f32(bisect_left, bisect_right))
+    return {
+        "topk_block": _JIT(_kernels.make_topk_block()),
+        "marginal_counts": _JIT(_kernels.make_marginal_counts(bisect_left, bisect_right)),
+        "window_counts": window_counts,
+        "window_counts_f32": window_counts_f32,
+        "cluster_counts": _JIT(_kernels.make_cluster_counts(window_counts)),
+        "cluster_counts_f32": _JIT(_kernels.make_cluster_counts_f32(window_counts_f32)),
+        "grid_knn": _JIT(_kernels.make_grid_knn()),
+    }
+
+
+_COMPILED: Dict[str, Callable[..., None]] = _build()
+
+
+def compiled_kernels() -> Dict[str, Callable[..., None]]:
+    """Return the njit-wrapped kernel suite (compilation still pending)."""
+
+    return dict(_COMPILED)
+
+
+def warm_up(name: str, kernel: Callable[..., None]) -> None:
+    """Force-compile ``kernel`` by running it on a tiny pinned workload.
+
+    Raises whatever numba raises on compilation failure; the dispatch
+    layer records the failure and substitutes the numpy reference for
+    that kernel only.
+    """
+
+    x = np.array([0.0, 0.4, 1.1, 0.2, 0.9, 0.5], dtype=np.float64)
+    y = np.array([0.3, 0.1, 0.8, 0.7, 0.0, 1.0], dtype=np.float64)
+    m = x.shape[0]
+    k = 2
+    args: Any
+    if name == "topk_block":
+        adx = np.abs(x[:, None] - x[None, :])
+        ady = np.abs(y[:, None] - y[None, :])
+        dist = np.maximum(adx, ady)
+        np.fill_diagonal(dist, np.inf)
+        args = (
+            dist,
+            adx,
+            ady,
+            k,
+            np.empty(m),
+            np.empty(m),
+            np.empty(m),
+            np.empty((m, k), dtype=np.int64),
+        )
+    elif name == "marginal_counts":
+        radii = np.full(m, 0.25)
+        out = np.empty(m, dtype=np.int64)
+        kernel(x, radii, True, np.sort(x), out)
+        args = (x, radii, False, np.sort(x), out)
+    elif name == "window_counts":
+        args = (x, y, k, np.empty(m, dtype=np.int64), np.empty(m, dtype=np.int64))
+    elif name == "window_counts_f32":
+        args = (
+            x,
+            y,
+            x.astype(np.float32),
+            y.astype(np.float32),
+            k,
+            np.empty(m, dtype=np.int64),
+            np.empty(m, dtype=np.int64),
+        )
+    elif name == "cluster_counts":
+        offsets = np.array([0, 1], dtype=np.int64)
+        sizes = np.array([4, 5], dtype=np.int64)
+        ks = np.array([k, k], dtype=np.int64)
+        total = int(sizes.sum())
+        args = (
+            x,
+            y,
+            offsets,
+            sizes,
+            ks,
+            np.empty(total, dtype=np.int64),
+            np.empty(total, dtype=np.int64),
+        )
+    elif name == "cluster_counts_f32":
+        offsets = np.array([0, 1], dtype=np.int64)
+        sizes = np.array([4, 5], dtype=np.int64)
+        ks = np.array([k, k], dtype=np.int64)
+        total = int(sizes.sum())
+        args = (
+            x,
+            y,
+            x.astype(np.float32),
+            y.astype(np.float32),
+            offsets,
+            sizes,
+            ks,
+            np.empty(total, dtype=np.int64),
+            np.empty(total, dtype=np.int64),
+        )
+    elif name == "grid_knn":
+        from repro.mi.backends.numpy_backend import build_grid
+
+        layout = build_grid(x, y)
+        assert layout is not None
+        args = (
+            x,
+            y,
+            k,
+            layout.cell,
+            layout.ncx,
+            layout.ncy,
+            layout.starts,
+            layout.order,
+            layout.cx,
+            layout.cy,
+            np.empty(m),
+            np.empty(m),
+            np.empty(m),
+            np.empty((m, k), dtype=np.int64),
+        )
+    else:
+        raise ValueError(f"unknown kernel {name!r}")
+    kernel(*args)

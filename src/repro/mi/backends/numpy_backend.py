@@ -1,0 +1,277 @@
+"""Canonical vectorized numpy reference for the backend kernels.
+
+These functions *define* the backend kernel semantics: the k nearest
+neighbors of a point are the k lexicographically smallest
+``(distance, index)`` pairs, and neighbor index rows are emitted in
+ascending order.  The compiled kernels in
+:mod:`repro.mi.backends.numba_backend` are asserted bit-identical to
+this module under the ``FAST_PATH_GATES`` discipline, which is only
+possible because — unlike ``argpartition`` — lexicographic selection
+has exactly one correct answer on distance ties.
+
+On tie-free inputs (the tracked workloads are jittered) canonical
+selection picks the same neighbor *sets* as the legacy argpartition
+paths, so end-to-end scores agree bit-for-bit with the default engine.
+
+The float32 tier selects candidates in float32 and re-ranks them with
+exact float64 lexicographic order (see
+:data:`repro.mi.backends._kernels.F32_CANDIDATE_PAD`), so radii and
+marginal counts are always float64 quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+from repro._types import FloatArray, IntArray
+from repro.mi.backends._kernels import F32_CANDIDATE_PAD, Float32Array
+
+BoolArray = npt.NDArray[np.bool_]
+
+__all__ = [
+    "GridLayout",
+    "build_grid",
+    "canonical_mask",
+    "cluster_counts",
+    "cluster_counts_f32",
+    "grid_knn_ref",
+    "marginal_counts_ref",
+    "topk_block",
+    "window_counts",
+    "window_counts_f32",
+]
+
+
+def canonical_mask(dist: FloatArray, k: int) -> BoolArray:
+    """Boolean mask of the k lex-smallest ``(distance, column)`` per row.
+
+    Columns with distance strictly below the k-th order statistic are
+    always selected (there are at most k-1 of them); the remaining slots
+    are filled by the lowest-index columns tied at the k-th distance.
+    """
+
+    kth = np.partition(dist, k - 1, axis=1)[:, k - 1]
+    less = dist < kth[:, None]
+    need = k - less.sum(axis=1)
+    eq = dist == kth[:, None]
+    take = eq & (np.cumsum(eq, axis=1) <= need[:, None])
+    result: BoolArray = less | take
+    return result
+
+
+def _mask_to_outputs(
+    mask: BoolArray,
+    adx: FloatArray,
+    ady: FloatArray,
+    kth: FloatArray,
+    k: int,
+) -> Tuple[FloatArray, FloatArray, FloatArray, IntArray]:
+    m = mask.shape[0]
+    eps_x = np.max(adx, axis=1, where=mask, initial=-np.inf)
+    eps_y = np.max(ady, axis=1, where=mask, initial=-np.inf)
+    indices = np.nonzero(mask)[1].reshape(m, k).astype(np.int64)
+    return kth, eps_x, eps_y, indices
+
+
+def topk_block(
+    dist: FloatArray,
+    adx: FloatArray,
+    ady: FloatArray,
+    k: int,
+) -> Tuple[FloatArray, FloatArray, FloatArray, IntArray]:
+    """Canonical top-k over a workspace distance block (inf diagonal)."""
+
+    mask = canonical_mask(dist, k)
+    kth = np.partition(dist, k - 1, axis=1)[:, k - 1]
+    return _mask_to_outputs(mask, adx, ady, kth, k)
+
+
+def marginal_counts_ref(
+    values: FloatArray,
+    radii: FloatArray,
+    strict: bool,
+    order: FloatArray,
+) -> IntArray:
+    """Strip counts over a presorted projection (searchsorted semantics)."""
+
+    if strict:
+        left = np.searchsorted(order, values - radii, side="right")
+        right = np.searchsorted(order, values + radii, side="left")
+    else:
+        left = np.searchsorted(order, values - radii, side="left")
+        right = np.searchsorted(order, values + radii, side="right")
+    counts = right - left - 1
+    np.maximum(counts, 0, out=counts)
+    return counts.astype(np.int64, copy=False)
+
+
+def _pair_distances(
+    x: FloatArray, y: FloatArray
+) -> Tuple[FloatArray, FloatArray, FloatArray]:
+    adx = np.abs(x[:, None] - x[None, :])
+    ady = np.abs(y[:, None] - y[None, :])
+    dist = np.maximum(adx, ady)
+    np.fill_diagonal(dist, np.inf)
+    return dist, adx, ady
+
+
+def _strip_counts(
+    x: FloatArray,
+    y: FloatArray,
+    eps_x: FloatArray,
+    eps_y: FloatArray,
+) -> Tuple[IntArray, IntArray]:
+    n_x = marginal_counts_ref(x, eps_x, False, np.sort(x))
+    n_y = marginal_counts_ref(y, eps_y, False, np.sort(y))
+    return n_x, n_y
+
+
+def window_counts(x: FloatArray, y: FloatArray, k: int) -> Tuple[IntArray, IntArray]:
+    """Fused algorithm-2 window geometry (canonical k-NN + loose counts)."""
+
+    dist, adx, ady = _pair_distances(x, y)
+    mask = canonical_mask(dist, k)
+    eps_x = np.max(adx, axis=1, where=mask, initial=-np.inf)
+    eps_y = np.max(ady, axis=1, where=mask, initial=-np.inf)
+    return _strip_counts(x, y, eps_x, eps_y)
+
+
+def window_counts_f32(
+    x: FloatArray,
+    y: FloatArray,
+    x32: Float32Array,
+    y32: Float32Array,
+    k: int,
+) -> Tuple[IntArray, IntArray]:
+    """float32-pruned window geometry, re-ranked and counted in float64."""
+
+    m = x.shape[0]
+    kc = min(k + F32_CANDIDATE_PAD, m - 1)
+    adx32 = np.abs(x32[:, None] - x32[None, :])
+    ady32 = np.abs(y32[:, None] - y32[None, :])
+    dist32 = np.maximum(adx32, ady32)
+    np.fill_diagonal(dist32, np.float32(np.inf))
+    candidates = canonical_mask(dist32, kc)
+    dist, adx, ady = _pair_distances(x, y)
+    pruned = np.where(candidates, dist, np.inf)
+    mask = canonical_mask(pruned, k)
+    eps_x = np.max(adx, axis=1, where=mask, initial=-np.inf)
+    eps_y = np.max(ady, axis=1, where=mask, initial=-np.inf)
+    return _strip_counts(x, y, eps_x, eps_y)
+
+
+def cluster_counts(
+    x: FloatArray,
+    y: FloatArray,
+    offsets: IntArray,
+    sizes: IntArray,
+    ks: IntArray,
+) -> Tuple[IntArray, IntArray]:
+    """Per-window :func:`window_counts` over a same-delay union slice."""
+
+    total = int(sizes.sum())
+    out_nx = np.empty(total, dtype=np.int64)
+    out_ny = np.empty(total, dtype=np.int64)
+    pos = 0
+    for w in range(offsets.shape[0]):
+        off = int(offsets[w])
+        m = int(sizes[w])
+        n_x, n_y = window_counts(x[off : off + m], y[off : off + m], int(ks[w]))
+        out_nx[pos : pos + m] = n_x
+        out_ny[pos : pos + m] = n_y
+        pos += m
+    return out_nx, out_ny
+
+
+def cluster_counts_f32(
+    x: FloatArray,
+    y: FloatArray,
+    x32: Float32Array,
+    y32: Float32Array,
+    offsets: IntArray,
+    sizes: IntArray,
+    ks: IntArray,
+) -> Tuple[IntArray, IntArray]:
+    """float32 tier of :func:`cluster_counts` (union cast once by caller)."""
+
+    total = int(sizes.sum())
+    out_nx = np.empty(total, dtype=np.int64)
+    out_ny = np.empty(total, dtype=np.int64)
+    pos = 0
+    for w in range(offsets.shape[0]):
+        off = int(offsets[w])
+        m = int(sizes[w])
+        n_x, n_y = window_counts_f32(
+            x[off : off + m],
+            y[off : off + m],
+            x32[off : off + m],
+            y32[off : off + m],
+            int(ks[w]),
+        )
+        out_nx[pos : pos + m] = n_x
+        out_ny[pos : pos + m] = n_y
+        pos += m
+    return out_nx, out_ny
+
+
+def grid_knn_ref(
+    x: FloatArray, y: FloatArray, k: int
+) -> Tuple[FloatArray, FloatArray, FloatArray, IntArray]:
+    """Canonical reference for the grid kernel.
+
+    Deliberately grid-structure-free: the compiled ring search must
+    produce the global canonical top-k regardless of bucket layout, so
+    the reference is plain brute force over the full distance matrix.
+    """
+
+    dist, adx, ady = _pair_distances(x, y)
+    return topk_block(dist, adx, ady, k)
+
+
+class GridLayout:
+    """CSR bucket layout mirroring ``GridIndex``'s cell math.
+
+    Points are bucketed by ``floor((value - min) / cell)`` per axis with
+    the same ``span / max(1, int(sqrt(m / target_per_cell)))`` cell side
+    as ``GridIndex``; the CSR ordering uses a stable argsort so the
+    layout is deterministic.
+    """
+
+    __slots__ = ("cell", "ncx", "ncy", "starts", "order", "cx", "cy")
+
+    def __init__(self, x: FloatArray, y: FloatArray, target_per_cell: float = 2.0) -> None:
+        m = x.shape[0]
+        x0 = float(x.min())
+        y0 = float(y.min())
+        span = max(float(x.max()) - x0, float(y.max()) - y0)
+        cells_per_axis = max(1, int(np.sqrt(m / target_per_cell)))
+        cell = span / cells_per_axis if span > 0.0 else 1.0
+        cx = ((x - x0) / cell).astype(np.int64)
+        cy = ((y - y0) / cell).astype(np.int64)
+        ncx = int(cx.max()) + 1
+        ncy = int(cy.max()) + 1
+        cell_ids = cx * ncy + cy
+        order = np.argsort(cell_ids, kind="stable").astype(np.int64)
+        counts = np.bincount(cell_ids, minlength=ncx * ncy)
+        starts = np.zeros(ncx * ncy + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        self.cell = cell
+        self.ncx = ncx
+        self.ncy = ncy
+        self.starts = starts
+        self.order = order
+        self.cx = cx
+        self.cy = cy
+
+
+def build_grid(
+    x: FloatArray, y: FloatArray, target_per_cell: float = 2.0
+) -> Optional[GridLayout]:
+    """Build the CSR grid, or ``None`` when bucketing cannot help (m < 2)."""
+
+    if x.shape[0] < 2:
+        return None
+    return GridLayout(x, y, target_per_cell)

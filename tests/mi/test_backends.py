@@ -1,0 +1,364 @@
+"""Parity suite for the compiled kernel backend (``repro.mi.backends``).
+
+This is the bit-exactness gate (tycoslint TY121) of both backend fast
+paths: every kernel of the interpreted suite -- the exact loop source
+handed to numba -- must agree bit-for-bit with the canonical numpy
+reference on a pinned workload grid (window sizes straddling the
+256-sample sort hybrid, k in {3, 5}, ties, duplicate points), and the
+numpy reference must agree with the legacy selection end to end on
+tie-free data.  When numba is installed the compiled kernels are run
+through the same assertions; without it the compiled cases skip cleanly
+and the interpreted suite keeps the source honest.
+
+The float32 tier is tolerance-gated rather than bit-gated: candidate
+pruning happens in float32, the final ranking and all radii in float64,
+and the resulting MI must sit within 1e-6 of the float64 value on the
+tracked workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TycosConfig
+from repro.core.thresholds import BatchScorer
+from repro.core.tycos import Tycos
+from repro.core.window import PairView, TimeDelayWindow
+from repro.mi.backends import _kernels
+from repro.mi.backends import numpy_backend as ref
+from repro.mi.backends.dispatch import KernelSet, backend_metadata, get_kernels, numba_version
+from repro.mi.ksg import KSGEstimator
+from repro.mi.neighbors import (
+    PairDistanceWorkspace,
+    chebyshev_knn_bruteforce,
+    chebyshev_knn_grid,
+)
+
+SUITE = _kernels.build_interpreted_suite()
+
+HAS_NUMBA = numba_version() is not None
+
+needs_numba = pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+
+
+def kernel_suites():
+    """The kernel suites under test: always interpreted, compiled if possible."""
+    suites = [("interpreted", SUITE)]
+    if HAS_NUMBA:
+        from repro.mi.backends import numba_backend
+
+        suites.append(("compiled", numba_backend.compiled_kernels()))
+    return suites
+
+
+def _workload(m, seed, ties=False):
+    """A pinned (x, y) window; ``ties`` discretizes to force duplicates."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=m)
+    y = 0.7 * x + 0.5 * rng.normal(size=m)
+    if ties:
+        x = np.round(x, 1)
+        y = np.round(y, 1)
+        x[: m // 4] = x[0]  # duplicate points, identical in both coords
+        y[: m // 4] = y[0]
+    return np.ascontiguousarray(x), np.ascontiguousarray(y)
+
+
+#: Sizes straddling the 256-sample sort hybrid of the marginal counting.
+SIZES = (40, 255, 257)
+KS = (3, 5)
+
+
+class TestKernelParity:
+    """Each loop kernel is bit-identical to the canonical numpy reference."""
+
+    @pytest.mark.parametrize("suite_name,suite", kernel_suites())
+    @pytest.mark.parametrize("m", SIZES)
+    @pytest.mark.parametrize("k", KS)
+    @pytest.mark.parametrize("ties", [False, True])
+    def test_topk_block(self, suite_name, suite, m, k, ties):
+        x, y = _workload(m, seed=m * 31 + k, ties=ties)
+        adx = np.abs(x[:, None] - x[None, :])
+        ady = np.abs(y[:, None] - y[None, :])
+        dist = np.maximum(adx, ady)
+        np.fill_diagonal(dist, np.inf)
+        want = ref.topk_block(dist, adx, ady, k)
+        kth = np.empty(m)
+        ex = np.empty(m)
+        ey = np.empty(m)
+        idx = np.empty((m, k), dtype=np.int64)
+        suite["topk_block"](dist, adx, ady, k, kth, ex, ey, idx)
+        assert np.array_equal(kth, want[0])
+        assert np.array_equal(ex, want[1])
+        assert np.array_equal(ey, want[2])
+        assert np.array_equal(idx, want[3])
+
+    @pytest.mark.parametrize("suite_name,suite", kernel_suites())
+    @pytest.mark.parametrize("m", SIZES)
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_marginal_counts(self, suite_name, suite, m, strict):
+        x, _ = _workload(m, seed=m, ties=True)
+        radii = np.abs(_workload(m, seed=m + 1)[0]) * 0.3
+        order = np.sort(x)
+        want = ref.marginal_counts_ref(x, radii, strict, order)
+        out = np.empty(m, dtype=np.int64)
+        suite["marginal_counts"](x, radii, strict, order, out)
+        assert np.array_equal(out, want)
+
+    @pytest.mark.parametrize("suite_name,suite", kernel_suites())
+    @pytest.mark.parametrize("m", SIZES)
+    @pytest.mark.parametrize("k", KS)
+    @pytest.mark.parametrize("ties", [False, True])
+    def test_window_counts(self, suite_name, suite, m, k, ties):
+        x, y = _workload(m, seed=m * 7 + k, ties=ties)
+        want = ref.window_counts(x, y, k)
+        n_x = np.empty(m, dtype=np.int64)
+        n_y = np.empty(m, dtype=np.int64)
+        suite["window_counts"](x, y, k, n_x, n_y)
+        assert np.array_equal(n_x, want[0])
+        assert np.array_equal(n_y, want[1])
+
+    @pytest.mark.parametrize("suite_name,suite", kernel_suites())
+    @pytest.mark.parametrize("m", SIZES)
+    @pytest.mark.parametrize("k", KS)
+    def test_window_counts_f32(self, suite_name, suite, m, k):
+        x, y = _workload(m, seed=m * 13 + k)
+        x32 = x.astype(np.float32)
+        y32 = y.astype(np.float32)
+        want = ref.window_counts_f32(x, y, x32, y32, k)
+        n_x = np.empty(m, dtype=np.int64)
+        n_y = np.empty(m, dtype=np.int64)
+        suite["window_counts_f32"](x, y, x32, y32, k, n_x, n_y)
+        assert np.array_equal(n_x, want[0])
+        assert np.array_equal(n_y, want[1])
+
+    @pytest.mark.parametrize("suite_name,suite", kernel_suites())
+    def test_cluster_counts(self, suite_name, suite):
+        x, y = _workload(300, seed=5)
+        offsets = np.array([0, 10, 40, 44], dtype=np.int64)
+        sizes = np.array([40, 255, 257, 12], dtype=np.int64)
+        ks = np.array([3, 5, 3, 5], dtype=np.int64)
+        want = ref.cluster_counts(x, y, offsets, sizes, ks)
+        total = int(sizes.sum())
+        n_x = np.empty(total, dtype=np.int64)
+        n_y = np.empty(total, dtype=np.int64)
+        suite["cluster_counts"](x, y, offsets, sizes, ks, n_x, n_y)
+        assert np.array_equal(n_x, want[0])
+        assert np.array_equal(n_y, want[1])
+        x32 = x.astype(np.float32)
+        y32 = y.astype(np.float32)
+        want32 = ref.cluster_counts_f32(x, y, x32, y32, offsets, sizes, ks)
+        suite["cluster_counts_f32"](x, y, x32, y32, offsets, sizes, ks, n_x, n_y)
+        assert np.array_equal(n_x, want32[0])
+        assert np.array_equal(n_y, want32[1])
+
+    @pytest.mark.parametrize("suite_name,suite", kernel_suites())
+    @pytest.mark.parametrize("m", SIZES)
+    @pytest.mark.parametrize("k", KS)
+    @pytest.mark.parametrize("ties", [False, True])
+    def test_grid_knn(self, suite_name, suite, m, k, ties):
+        x, y = _workload(m, seed=m * 3 + k, ties=ties)
+        layout = ref.build_grid(x, y)
+        assert layout is not None
+        want = ref.grid_knn_ref(x, y, k)
+        kth = np.empty(m)
+        ex = np.empty(m)
+        ey = np.empty(m)
+        idx = np.empty((m, k), dtype=np.int64)
+        suite["grid_knn"](
+            x, y, k,
+            layout.cell, layout.ncx, layout.ncy,
+            layout.starts, layout.order, layout.cx, layout.cy,
+            kth, ex, ey, idx,
+        )
+        assert np.array_equal(kth, want[0])
+        assert np.array_equal(ex, want[1])
+        assert np.array_equal(ey, want[2])
+        assert np.array_equal(idx, want[3])
+
+
+class TestNumpyReferenceVsLegacy:
+    """The canonical numpy reference reproduces the legacy geometry.
+
+    On tie-free (jittered) data the canonical lexicographic selection
+    picks the same neighbor *sets* as the legacy argpartition selection,
+    so distances, radii and counts are bit-identical end to end.
+    """
+
+    @pytest.mark.parametrize("m", SIZES)
+    @pytest.mark.parametrize("k", KS)
+    def test_geometry_matches_bruteforce(self, m, k):
+        x, y = _workload(m, seed=m + k)
+        legacy = chebyshev_knn_bruteforce(x, y, k)
+        adx = np.abs(x[:, None] - x[None, :])
+        ady = np.abs(y[:, None] - y[None, :])
+        dist = np.maximum(adx, ady)
+        np.fill_diagonal(dist, np.inf)
+        kth, ex, ey, idx = ref.topk_block(dist, adx, ady, k)
+        assert np.array_equal(kth, legacy.kth_distance)
+        assert np.array_equal(ex, legacy.eps_x)
+        assert np.array_equal(ey, legacy.eps_y)
+        assert np.array_equal(np.sort(idx, axis=1), np.sort(legacy.indices, axis=1))
+
+    @pytest.mark.parametrize("m", SIZES)
+    @pytest.mark.parametrize("k", KS)
+    def test_grid_ref_matches_bruteforce(self, m, k):
+        x, y = _workload(m, seed=m * 2 + k)
+        legacy = chebyshev_knn_bruteforce(x, y, k)
+        kth, ex, ey, _ = ref.grid_knn_ref(x, y, k)
+        assert np.array_equal(kth, legacy.kth_distance)
+        assert np.array_equal(ex, legacy.eps_x)
+        assert np.array_equal(ey, legacy.eps_y)
+
+    def test_mi_from_window_counts_matches_estimator(self):
+        estimator = KSGEstimator(k=3, algorithm=2, backend="bruteforce")
+        for m in SIZES:
+            x, y = _workload(m, seed=m)
+            n_x, n_y = ref.window_counts(x, y, 3)
+            fused = estimator.mi_from_counts(n_x, n_y, 3, m)
+            assert fused == estimator.mi(x, y)
+
+
+class TestKernelRouting:
+    """The kernels= parameter routes neighbor calls through the backend."""
+
+    @pytest.mark.parametrize("backend,precision", [("numpy", "float32"), ("numba", "float64")])
+    def test_workspace_knn(self, backend, precision):
+        kernels = get_kernels(backend, precision)
+        assert isinstance(kernels, KernelSet)
+        x, y = _workload(120, seed=9)
+        ws = PairDistanceWorkspace(x, y)
+        legacy = ws.knn(10, 80, 3)
+        routed = ws.knn(10, 80, 3, kernels=kernels)
+        assert np.array_equal(routed.kth_distance, legacy.kth_distance)
+        assert np.array_equal(routed.eps_x, legacy.eps_x)
+        assert np.array_equal(routed.eps_y, legacy.eps_y)
+        assert np.array_equal(
+            np.sort(routed.indices, axis=1), np.sort(legacy.indices, axis=1)
+        )
+
+    @pytest.mark.parametrize("backend,precision", [("numpy", "float32"), ("numba", "float64")])
+    def test_grid_knn_routing(self, backend, precision):
+        kernels = get_kernels(backend, precision)
+        x, y = _workload(400, seed=11)
+        legacy = chebyshev_knn_grid(x, y, 4)
+        routed = chebyshev_knn_grid(x, y, 4, kernels=kernels)
+        assert np.array_equal(routed.kth_distance, legacy.kth_distance)
+        assert np.array_equal(routed.eps_x, legacy.eps_x)
+        assert np.array_equal(routed.eps_y, legacy.eps_y)
+
+
+def _tracked_search(backend, precision, batched):
+    """The tracked gate workload: one full search, distilled to numbers."""
+    rng = np.random.default_rng(2024)
+    n = 400
+    x = np.cumsum(rng.normal(size=n))
+    y = np.roll(x, 7) + 0.1 * rng.normal(size=n)
+    config = TycosConfig(
+        sigma=0.3,
+        s_min=8,
+        s_max=40,
+        td_max=8,
+        jitter=1e-6,
+        seed=7,
+        backend=backend,
+        precision=precision,
+    )
+    result = Tycos(config, batched_scoring=batched).search(x, y)
+    return [
+        (r.window.start, r.window.end, r.window.delay, r.mi, r.nmi)
+        for r in result.windows
+    ]
+
+
+class TestEndToEnd:
+    """Whole searches agree across engines on the tracked workload."""
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_numba_request_bit_identical_to_legacy(self, batched):
+        # With numba absent the numba request is served by the numpy
+        # reference -- the contract is engine-independent either way.
+        legacy = _tracked_search("numpy", "float64", batched)
+        assert legacy, "tracked workload must extract windows"
+        assert _tracked_search("numba", "float64", batched) == legacy
+        assert _tracked_search("auto", "float64", batched) == legacy
+
+    @pytest.mark.parametrize("backend", ["numpy", "numba"])
+    def test_float32_within_tolerance(self, backend):
+        legacy = _tracked_search("numpy", "float64", True)
+        tiered = _tracked_search(backend, "float32", True)
+        assert [w[:3] for w in tiered] == [w[:3] for w in legacy]
+        worst = max(
+            abs(a[3] - b[3]) for a, b in zip(tiered, legacy)
+        )
+        assert worst <= 1e-6, f"float32 MI drifted {worst} from float64"
+
+    def test_scorer_counters_match_legacy(self):
+        x, y = _workload(300, seed=21)
+        pair = PairView(x, y, jitter=1e-6, seed=3)
+        base = TycosConfig(s_min=8, s_max=40, td_max=6)
+        routed = TycosConfig(s_min=8, s_max=40, td_max=6, backend="numba")
+        a = BatchScorer(pair, base)
+        b = BatchScorer(pair, routed)
+        windows = [
+            TimeDelayWindow(start=s, end=s + 30, delay=d)
+            for s in (10, 40, 40, 80)
+            for d in (-2, 0, 3)
+        ]
+        sa = a.score_many(windows)
+        sb = b.score_many(windows)
+        assert sa == sb
+        assert a.evaluations == b.evaluations
+        assert a.cache_hits == b.cache_hits
+
+
+class TestDispatch:
+    """Resolution and provenance semantics of get_kernels()."""
+
+    def test_default_is_legacy_none(self):
+        assert get_kernels("numpy", "float64") is None
+
+    def test_numba_request_always_resolves(self):
+        kernels = get_kernels("numba", "float64")
+        assert isinstance(kernels, KernelSet)
+        if not HAS_NUMBA:
+            assert kernels.engine == "numpy"
+            assert kernels.fallbacks == ("numba-unavailable",)
+            assert not kernels.compiled
+
+    def test_auto_without_numba_is_legacy(self):
+        if HAS_NUMBA:
+            kernels = get_kernels("auto", "float64")
+            assert kernels is None or kernels.compiled
+        else:
+            assert get_kernels("auto", "float64") is None
+
+    def test_float32_always_resolves(self):
+        for backend in ("numpy", "numba", "auto"):
+            kernels = get_kernels(backend, "float32")
+            assert isinstance(kernels, KernelSet)
+            assert kernels.precision == "float32"
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            get_kernels("cuda")
+        with pytest.raises(ValueError):
+            get_kernels("numpy", "float16")
+
+    def test_metadata_keys(self):
+        meta = backend_metadata("numpy", "float64")
+        assert meta["backend"] == "numpy"
+        assert meta["precision"] == "float64"
+        assert meta["engine"] == "numpy-legacy"
+        assert meta["compiled"] == "false"
+        if not HAS_NUMBA:
+            assert meta["numba"] == "absent"
+        meta = backend_metadata("numba", "float32")
+        assert meta["engine"] in ("numpy", "numba")
+
+    @needs_numba
+    def test_compiled_engine_reports_numba(self):
+        kernels = get_kernels("numba", "float64")
+        assert kernels is not None
+        assert kernels.compiled
+        assert kernels.engine == "numba"
+        assert kernels.fallbacks == ()

@@ -29,6 +29,7 @@ Usage::
     python -m tools.tycoslint.sanitize --smoke           # CI gate
     python -m tools.tycoslint.sanitize                   # full workload
     python -m tools.tycoslint.sanitize --smoke --inject  # must FAIL
+    python -m tools.tycoslint.sanitize --smoke --backend numba
 """
 
 from __future__ import annotations
@@ -87,7 +88,9 @@ def _make_series(length: int, seed: int) -> Dict[str, Any]:
     return {"a": x, "b": y, "c": noise}
 
 
-def _make_config(seed: int) -> Any:
+def _make_config(
+    seed: int, backend: str = "numpy", precision: str = "float64"
+) -> Any:
     from repro.core.config import TycosConfig
 
     return TycosConfig(
@@ -99,11 +102,19 @@ def _make_config(seed: int) -> Any:
         init_delay_step=1,
         significance_permutations=10,
         seed=seed,
+        backend=backend,
+        precision=precision,
     )
 
 
 def build_payload(
-    length: int, seed: int, n_segments: int, n_jobs: int, inject: bool
+    length: int,
+    seed: int,
+    n_segments: int,
+    n_jobs: int,
+    inject: bool,
+    backend: str = "numpy",
+    precision: str = "float64",
 ) -> Dict[str, Any]:
     """Run the pinned workload and distill a canonical, clock-free payload.
 
@@ -115,13 +126,21 @@ def build_payload(
     from repro.analysis.segmented import search_segmented
 
     series = _make_series(length, seed)
-    config = _make_config(seed=3)
+    config = _make_config(seed=3, backend=backend, precision=precision)
     # n_jobs is deliberately NOT recorded: like PYTHONHASHSEED it is a
     # knob the report must not depend on.  n_segments stays because it
-    # legitimately shapes the result (see module docstring).
+    # legitimately shapes the result (see module docstring); so do
+    # backend/precision -- the matrix runs one engine, all its variants
+    # must agree, and the params name which engine that was.
     payload: Dict[str, Any] = {
         "format": FORMAT,
-        "params": {"length": length, "seed": seed, "n_segments": n_segments},
+        "params": {
+            "length": length,
+            "seed": seed,
+            "n_segments": n_segments,
+            "backend": backend,
+            "precision": precision,
+        },
     }
     if inject:
         # Artificial nondeterminism: list() over a set of strings follows
@@ -221,6 +240,8 @@ def _run_child(
     n_jobs: int,
     hashseed: str,
     inject: bool,
+    backend: str,
+    precision: str,
 ) -> None:
     command = [
         sys.executable,
@@ -237,6 +258,10 @@ def _run_child(
         str(n_segments),
         "--n-jobs",
         str(n_jobs),
+        "--backend",
+        backend,
+        "--precision",
+        precision,
     ]
     if inject:
         command.append("--inject")
@@ -250,19 +275,30 @@ def _variant_name(n_segments: int, hashseed: str, n_jobs: int) -> str:
 
 
 def run_matrix(
-    length: int, seed: int, inject: bool, work_dir: Path
+    length: int,
+    seed: int,
+    inject: bool,
+    work_dir: Path,
+    backend: str = "numpy",
+    precision: str = "float64",
 ) -> Tuple[bool, List[str]]:
     """Run every variant; returns ``(ok, human-readable problem lines)``.
 
     Byte-compares payloads within each ``n_segments`` class, and the
-    scan section (segment-independent) across every variant.
+    scan section (segment-independent) across every variant.  The whole
+    matrix runs one ``backend``/``precision`` engine: determinism must
+    hold *per engine*, so CI drives the sanitizer once per backend of
+    interest rather than diffing engines against each other.
     """
     problems: List[str] = []
     payloads: Dict[Tuple[int, str, int], bytes] = {}
     for n_segments in SEGMENT_CLASSES:
         for hashseed, n_jobs in VARIANTS:
             out = work_dir / f"report-s{n_segments}-h{hashseed}-j{n_jobs}.json"
-            _run_child(out, length, seed, n_segments, n_jobs, hashseed, inject)
+            _run_child(
+                out, length, seed, n_segments, n_jobs, hashseed, inject,
+                backend, precision,
+            )
             payloads[(n_segments, hashseed, n_jobs)] = out.read_bytes()
 
     for n_segments in SEGMENT_CLASSES:
@@ -322,6 +358,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="write the per-variant payloads here (kept for inspection)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "numba"],
+        default="numpy",
+        help="kernel engine the whole matrix runs under (determinism is "
+        "checked per engine; default: numpy)",
+    )
+    parser.add_argument(
+        "--precision",
+        choices=["float64", "float32"],
+        default="float64",
+        help="kernel precision tier the whole matrix runs under",
+    )
     # Internal: single-variant child mode.
     parser.add_argument("--worker", action="store_true", help=argparse.SUPPRESS)
     parser.add_argument("--out", default=None, help=argparse.SUPPRESS)
@@ -337,7 +386,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if options.out is None:
             parser.error("--worker requires --out")
         payload = build_payload(
-            length, options.seed, options.n_segments, options.n_jobs, options.inject
+            length,
+            options.seed,
+            options.n_segments,
+            options.n_jobs,
+            options.inject,
+            backend=options.backend,
+            precision=options.precision,
         )
         Path(options.out).write_bytes(canonical_bytes(payload))
         return 0
@@ -347,10 +402,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"sanitize: {total} variants, length={length}, "
             f"segment classes {SEGMENT_CLASSES}, "
-            f"hashseed/n_jobs {VARIANTS}"
+            f"hashseed/n_jobs {VARIANTS}, "
+            f"backend={options.backend}/{options.precision}"
             + (" [INJECTED NONDETERMINISM]" if options.inject else "")
         )
-        ok, problems = run_matrix(length, options.seed, options.inject, work_dir)
+        ok, problems = run_matrix(
+            length,
+            options.seed,
+            options.inject,
+            work_dir,
+            backend=options.backend,
+            precision=options.precision,
+        )
         if ok:
             print("sanitize: all reports byte-identical within their class")
             return 0
