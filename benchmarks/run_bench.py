@@ -32,6 +32,16 @@ Runs five pinned-seed benchmarks and emits one JSON document:
   factor must cut ``full_windows_evaluated`` by at least the section's
   ``min_reduction`` -- a recall or determinism regression fails the
   benchmark instead of flattering it.
+* **cascade** -- the PR-8 all-pairs prescreen cascade on a >=64-series
+  synthetic collection: the unscreened ``scan_pairs`` reference first,
+  then ``cascade_scan`` with the default conservative margin.  The
+  recall gate is asserted *before* any speedup is reported: every
+  correlated pair the unscreened scan finds must survive the screens
+  with a byte-identical ``PairFinding``, the per-stage counters must
+  account for every screened pair, and the FFT stage must prune at
+  least the section's ``min_prune`` fraction of all pairs before any
+  KSG estimate runs.  A recall or accounting regression fails the
+  benchmark instead of flattering it.
 * **backends** -- the PR-7 compiled-kernel section: per-kernel
   numpy-vs-backend micro-benches (parity asserted before any speedup
   row), the tracked gate workload searched once per backend with
@@ -46,9 +56,9 @@ Runs five pinned-seed benchmarks and emits one JSON document:
 
 Usage::
 
-    python benchmarks/run_bench.py --output BENCH_PR7.json   # full baseline
+    python benchmarks/run_bench.py --output BENCH_PR8.json   # full baseline
     python benchmarks/run_bench.py --smoke                   # CI health check
-    python benchmarks/run_bench.py --smoke --check-against BENCH_PR7.json
+    python benchmarks/run_bench.py --smoke --check-against BENCH_PR8.json
 
 ``--check-against`` compares this run's **gate** windows/second with the
 committed document's and exits non-zero when it regressed by more than
@@ -76,6 +86,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
+from repro.analysis.cascade import cascade_scan  # noqa: E402
 from repro.analysis.multiscale import search_multiscale  # noqa: E402
 from repro.analysis.pairwise import scan_pairs  # noqa: E402
 from repro.analysis.segmented import search_segmented  # noqa: E402
@@ -97,7 +108,7 @@ from repro.mi.neighbors import (  # noqa: E402
     marginal_counts,
 )
 
-SCHEMA = "tycos-bench-pr7/1"
+SCHEMA = "tycos-bench-pr8/1"
 
 #: Cache knobs of the scoring ablations.  Keys are TycosConfig fields.
 _ALL_CACHES_OFF = {
@@ -128,6 +139,29 @@ def make_collection(n_series: int, length: int, seed: int) -> Dict[str, Any]:
     rng = np.random.default_rng(seed)
     series: Dict[str, Any] = {}
     n_coupled = max(2, n_series // 2)
+    base = np.cumsum(rng.normal(size=length))
+    for i in range(n_coupled):
+        lag = (i * 3) % 12
+        series[f"coupled{i}"] = np.roll(base, lag) + rng.normal(scale=0.15, size=length)
+    for i in range(n_series - n_coupled):
+        series[f"noise{i}"] = rng.normal(size=length)
+    return series
+
+
+def make_cascade_collection(n_series: int, length: int, seed: int) -> Dict[str, Any]:
+    """The pinned all-pairs cascade workload: few couplings, much noise.
+
+    A quarter of the series are lag-shifted noisy copies of one shared
+    random walk (every coupled-coupled pair is genuinely correlated);
+    the rest are independent white noise.  With ``n_series = 64`` that
+    is 120 correlated pairs out of 2 016 -- the regime the prescreen
+    cascade exists for, where almost every pair is prunable and the
+    recall gate still has a real survivor set to verify byte-equality
+    on.
+    """
+    rng = np.random.default_rng(seed)
+    series: Dict[str, Any] = {}
+    n_coupled = max(2, n_series // 4)
     base = np.cumsum(rng.normal(size=length))
     for i in range(n_coupled):
         lag = (i * 3) % 12
@@ -602,6 +636,102 @@ def bench_multiscale(
     return out
 
 
+def bench_cascade(
+    n_series: int,
+    length: int,
+    screen_window: int,
+    min_prune: float,
+    seed: int,
+) -> Dict[str, Any]:
+    """Prescreen cascade vs unscreened scan: recall gated, then timed.
+
+    The unscreened ``scan_pairs`` over the full collection is the
+    reference.  The cascade run is accepted only when (1) every
+    correlated pair the reference finds survives the screens with a
+    byte-identical ``PairFinding``, (2) every surviving pair's finding
+    is byte-identical to the reference's, (3) the per-stage counters
+    account for every screened pair, and (4) the FFT stage pruned at
+    least ``min_prune`` of all pairs *before any KSG estimate* -- only
+    then are the timings and speedup recorded.  The scans run once each
+    (not best-of): the two quadratic scans dominate the bench wall
+    clock, and the gate row -- not this section -- is the regression
+    reference.
+    """
+    series = make_cascade_collection(n_series, length, seed)
+    # Pinned section config: s_min=24 + 10 permutations keep finite-sample
+    # KSG noise below sigma on white-noise pairs, so the reference scan's
+    # correlated set is the planted couplings, not estimator flukes.
+    config = TycosConfig(
+        sigma=0.5, s_min=24, s_max=48, td_max=8, jitter=1e-6, seed=seed,
+        significance_permutations=10,
+    )
+    n_pairs = n_series * (n_series - 1) // 2
+
+    start = time.perf_counter()
+    reference = scan_pairs(series, config)
+    unscreened_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    screened = cascade_scan(series, config, screen_window=screen_window)
+    cascade_seconds = time.perf_counter() - start
+
+    reference_by_pair = {(f.source, f.target): f for f in reference.findings}
+    screened_by_pair = {(f.source, f.target): f for f in screened.findings}
+    lost = sorted(
+        (f.source, f.target)
+        for f in reference.correlated()
+        if (f.source, f.target) not in screened_by_pair
+    )
+    if lost:
+        raise AssertionError(f"cascade pruned correlated pairs: {lost}")
+    drifted = sorted(
+        pair for pair, finding in screened_by_pair.items()
+        if finding != reference_by_pair[pair]
+    )
+    if drifted:
+        raise AssertionError(f"cascade changed surviving findings at: {drifted}")
+    counted = (
+        screened.pairs_pruned_fft + screened.pairs_pruned_nmi + screened.pairs_searched
+    )
+    if screened.pairs_screened != n_pairs or counted != n_pairs:
+        raise AssertionError(
+            f"cascade counters do not account for every pair: screened="
+            f"{screened.pairs_screened} fft={screened.pairs_pruned_fft} "
+            f"nmi={screened.pairs_pruned_nmi} searched={screened.pairs_searched} "
+            f"expected {n_pairs}"
+        )
+    fft_prune_fraction = screened.pairs_pruned_fft / n_pairs
+    if fft_prune_fraction < min_prune:
+        raise AssertionError(
+            f"FFT screen pruned only {fft_prune_fraction:.2%} of pairs "
+            f"(< required {min_prune:.0%})"
+        )
+    return {
+        "series": n_series,
+        "series_length": length,
+        "pairs": n_pairs,
+        "screen_window": screen_window,
+        "screen_margin": config.screen_margin,
+        "correlated_pairs": len(reference.correlated()),
+        "unscreened": {
+            "seconds": round(unscreened_seconds, 4),
+            "pairs_per_second": round(n_pairs / unscreened_seconds, 3),
+        },
+        "cascade": {
+            "seconds": round(cascade_seconds, 4),
+            "pairs_per_second": round(n_pairs / cascade_seconds, 3),
+            "pairs_screened": screened.pairs_screened,
+            "pairs_pruned_fft": screened.pairs_pruned_fft,
+            "pairs_pruned_nmi": screened.pairs_pruned_nmi,
+            "pairs_searched": screened.pairs_searched,
+            "fft_prune_fraction": round(fft_prune_fraction, 4),
+            "recall": 1.0,  # asserted above
+            "identical_findings": True,  # asserted above
+            "speedup_vs_unscreened": round(unscreened_seconds / cascade_seconds, 3),
+        },
+        "min_prune_required": min_prune,
+    }
+
+
 #: Gate-search engines of the backends section: (row label, backend,
 #: precision).  The first row is the float64 bit-identity reference.
 _BACKEND_ROWS: List[Tuple[str, str, str]] = [
@@ -876,12 +1006,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         # tuned pair) but runs the cheaper noise-seeded variant at one
         # factor, so the recall assertion still gates every CI push.
         multiscale_factors, multiscale_noise, multiscale_floor = [8], True, 1.2
+        # Smoke shrinks the cascade collection (the two quadratic scans
+        # dominate its wall clock) but keeps the recall gate; the pruning
+        # floor drops with the pair count because the noise-maximum
+        # statistics of the screens concentrate with more comparisons.
+        cascade_series, cascade_length, cascade_window, cascade_floor = 16, 240, 120, 0.5
         config = TycosConfig(sigma=0.3, s_min=8, s_max=40, td_max=8, jitter=1e-6, seed=args.seed)
     else:
         n_series, length, jobs = 8, 600, [1, 2, 4]
         scoring_length = 1600
         segment_rows = [(2, 1), (2, 2), (4, 1), (4, 4)]
         multiscale_factors, multiscale_noise, multiscale_floor = [2, 4, 8], False, 2.0
+        cascade_series, cascade_length, cascade_window, cascade_floor = 64, 400, 200, 0.70
         config = TycosConfig(sigma=0.3, s_min=8, s_max=80, td_max=12, jitter=1e-6, seed=args.seed)
 
     document = {
@@ -915,6 +1051,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "multiscale": bench_multiscale(
             multiscale_factors, multiscale_noise, repeats, multiscale_floor, seed=11
         ),
+        "cascade": bench_cascade(
+            cascade_series, cascade_length, cascade_window, cascade_floor, args.seed
+        ),
         "backends": bench_backends(repeats, args.seed),
         "notes": (
             "Timings are best-of-repeats wall clock.  Multi-worker speedup "
@@ -929,7 +1068,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             "largest factor must meet min_reduction_required on "
             "full_windows_evaluated.  The gate row is the same workload "
             "in smoke and full mode and feeds the --check-against "
-            "regression comparison.  Backend rows assert kernel parity "
+            "regression comparison.  The cascade row asserts 100% recall "
+            "and byte-identical surviving findings against the unscreened "
+            "scan, full counter accounting, and the FFT-stage pruning "
+            "floor (min_prune_required) before its speedup is recorded.  "
+            "Backend rows assert kernel parity "
             "and search bit-identity (float32: the 1e-6 MI tolerance) "
             "before any speedup is recorded; the numba throughput floors "
             "apply only when host.numba is a real version and the suite "

@@ -11,9 +11,16 @@
   at full resolution.
 * :mod:`repro.analysis.chunked` -- chunked search over series too long for
   one in-memory pass.
+* :mod:`repro.analysis.cascade` -- all-pairs prescreen cascade (FFT +
+  coarse-NMI screens before any KSG estimate) and the ``tycos-scan``
+  command-line tool.
+* :mod:`repro.analysis.store` -- columnar on-disk series store,
+  memory-mapped so pool workers attach collections without copies.
 * :mod:`repro.analysis.csvio` -- CSV ingestion and the ``tycos-search``
   command-line tool.
 """
+
+from repro.analysis.cascade import cascade_scan, coarse_nmi_score, fft_screen_score
 
 from repro.analysis.chunked import (
     ChunkedResult,
@@ -34,6 +41,7 @@ from repro.analysis.pairwise import (
 from repro.analysis.multiscale import search_multiscale
 from repro.analysis.parallel import scan_pairs_parallel
 from repro.analysis.segmented import search_segmented
+from repro.analysis.store import SeriesStore
 from repro.analysis.serialization import (
     load_result,
     result_from_dict,
@@ -49,6 +57,10 @@ __all__ = [
     "PairFinding",
     "PairFailure",
     "prefilter_score",
+    "cascade_scan",
+    "coarse_nmi_score",
+    "fft_screen_score",
+    "SeriesStore",
     "search_segmented",
     "search_multiscale",
     "search_chunked",

@@ -1,0 +1,403 @@
+"""Staged all-pairs prescreen cascade (and the ``tycos-scan`` CLI).
+
+The paper's energy study scans 72 plugs -- 2 556 pairs -- but the
+production shape in ROADMAP.md is *thousands* of series, where the
+quadratic pair count makes the full KSG search per pair the dominant
+cost and most pairs are obviously unrelated.  This module prunes pairs
+**before** any KSG estimate with a three-stage cascade:
+
+1. **FFT screen** (:func:`fft_screen_score`): cheap linear proxies over
+   every pair -- the batched windowed-PCC band scan
+   (:func:`repro.baselines.pearson.sliding_pcc_band`) over the delay
+   band, plus MASS distance profiles
+   (:func:`repro.baselines.mass.mass_distance_profile`) converted to
+   correlation scores through ``d^2 = 2m(1 - r)``.  Both are
+   O(n log n)-class and touch no KSG machinery.
+2. **Coarse NMI screen** (:func:`coarse_nmi_score`): the repository's
+   one coarse-NMI filtering mechanism (formerly
+   ``pairwise.prefilter_score``, which now wraps this), run only on
+   stage-1 survivors.
+3. **Full TYCOS search**: :func:`repro.analysis.pairwise.scan_pairs`
+   (serial or pooled) on pairs that passed both screens, in the
+   original pair order.
+
+The screens are linear/coarse proxies for an information-theoretic
+search, so they must under-bid: a pair is pruned only when its score
+falls below ``threshold - screen_margin``
+(:attr:`repro.core.config.TycosConfig.screen_margin`).  ``margin=0`` is
+the explicit opt-out of that conservatism; ``margin=inf`` disables
+pruning entirely, making :func:`cascade_scan` byte-identical to the
+unscreened :func:`~repro.analysis.pairwise.scan_pairs` -- the bench
+recall gate asserts exactly that discipline before any speedup is
+reported.  A screen that cannot produce evidence (series shorter than
+the screen window) or raises *abstains*: the pair passes to the next
+stage rather than being silently dropped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from itertools import combinations
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro._types import FloatArray
+from repro.analysis.pairwise import PairwiseReport, scan_pairs
+from repro.baselines.mass import mass_distance_profile
+from repro.baselines.pearson import sliding_pcc_band
+from repro.core.config import TycosConfig
+from repro.core.tycos import Tycos
+from repro.mi.normalized import normalized_mi
+
+__all__ = [
+    "coarse_nmi_score",
+    "fft_screen_score",
+    "cascade_scan",
+    "main",
+]
+
+
+def coarse_nmi_score(
+    x: FloatArray,
+    y: FloatArray,
+    probe: int = 128,
+    stride: int = 3,
+    td_max: int = 0,
+) -> float:
+    """A cheap relatedness score: best normalized MI over coarse probes.
+
+    The cascade's stage-2 screen (and the implementation behind the
+    deprecated :func:`repro.analysis.pairwise.prefilter_score` wrapper).
+    Not a substitute for the search -- it only sees a few window
+    positions -- but a pair whose every probe is flat noise is unlikely
+    to reward a full TYCOS run.  When ``td_max`` is positive every delay
+    in ``[-td_max, td_max]`` is probed at each position, because a
+    lagged coupling carries *no* aligned information at all.
+
+    Args:
+        x: first series.
+        y: second series.
+        probe: probe window size.
+        stride: number of probe positions (evenly spaced).
+        td_max: largest |delay| to probe.
+
+    Returns:
+        The maximum normalized MI over all probes.
+    """
+    n = min(x.size, y.size)
+    if n < probe + td_max:
+        return normalized_mi(x[:n], y[:n]) if n >= 8 else 0.0
+    best = 0.0
+    positions = np.linspace(td_max, n - probe - td_max, stride).astype(int)
+    for s in positions:
+        xw = x[s : s + probe]
+        for tau in range(-td_max, td_max + 1):
+            best = max(best, normalized_mi(xw, y[s + tau : s + tau + probe]))
+    return best
+
+
+def fft_screen_score(
+    x: FloatArray,
+    y: FloatArray,
+    window: int,
+    td_max: int,
+    mass_probes: int = 3,
+) -> float:
+    """Stage-1 screen: the best linear-correlation evidence of a pair.
+
+    Two complementary FFT-class proxies, combined by maximum:
+
+    * the batched windowed-PCC scan over every window start at every
+      delay in ``[-td_max, td_max]`` (all starts, bounded delays), and
+    * MASS distance profiles of a few query subsequences of ``x``
+      against all of ``y`` (few starts, *all* offsets), converted to
+      correlation through ``d^2 = 2m(1 - r)``; both the best and the
+      worst match are used so anti-correlated shapes score by |r| too.
+
+    Args:
+        x: first series.
+        y: second series (same length).
+        window: screen window size ``m >= 2``.
+        td_max: largest |delay| of the PCC band.
+        mass_probes: number of MASS query positions (evenly spaced).
+
+    Returns:
+        The largest |r| either proxy found, or ``inf`` when the series
+        are too short for any window to fit -- an abstaining screen must
+        pass the pair, never prune it.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    m = window
+    best = 0.0
+    fitted = False
+    band = list(range(-td_max, td_max + 1))
+    for row in sliding_pcc_band(x, y, m, band):
+        if row.size:
+            fitted = True
+            best = max(best, float(np.max(np.abs(row))))
+    n = min(x.size, y.size)
+    if n >= m and mass_probes > 0:
+        positions = np.linspace(0, x.size - m, mass_probes).astype(int)
+        for s in positions:
+            profile = mass_distance_profile(x[s : s + m], y)
+            fitted = True
+            r_hi = 1.0 - float(np.min(profile)) ** 2 / (2.0 * m)
+            r_lo = 1.0 - float(np.max(profile)) ** 2 / (2.0 * m)
+            best = max(best, abs(r_hi), abs(r_lo))
+    if not fitted:
+        return float("inf")
+    return best
+
+
+def cascade_scan(
+    series: Dict[str, FloatArray],
+    config: TycosConfig,
+    pairs: Optional[Iterable[Tuple[str, str]]] = None,
+    screen_threshold: float = 0.6,
+    nmi_threshold: float = 0.3,
+    screen_margin: Optional[float] = None,
+    screen_window: Optional[int] = None,
+    engine: Optional[Tycos] = None,
+    n_jobs: Optional[int] = None,
+    store_path: Optional[Union[str, Path]] = None,
+) -> PairwiseReport:
+    """Run the prescreen cascade over every pair of a collection.
+
+    Stage 1 (:func:`fft_screen_score`) and stage 2
+    (:func:`coarse_nmi_score`) prune pairs whose score falls below
+    ``threshold - margin``; stage 3 runs the full TYCOS search on the
+    survivors **in the original pair order**, so with nothing pruned the
+    result is byte-identical to the unscreened
+    :func:`~repro.analysis.pairwise.scan_pairs`.  Pruned pairs are
+    reported in ``report.skipped`` (original order) and the per-stage
+    ledger in the ``pairs_*`` counters, which always satisfy
+    ``pairs_pruned_fft + pairs_pruned_nmi + pairs_searched ==
+    pairs_screened`` -- a screen that raises abstains (the pair advances)
+    rather than breaking the accounting.
+
+    Args:
+        series: name -> series mapping; all series must share a length.
+        config: search parameters; ``config.td_max`` bounds the screen
+            delay band and ``config.screen_margin`` is the default
+            conservatism margin.
+        pairs: explicit (source, target) pairs; default: all unordered
+            combinations of the collection's names.
+        screen_threshold: stage-1 nominal threshold on the best |r|.
+        nmi_threshold: stage-2 nominal threshold on the coarse NMI.
+        screen_margin: conservatism margin subtracted from both nominal
+            thresholds before pruning (default
+            ``config.screen_margin``).  ``0`` prunes at the nominal
+            thresholds; ``inf`` prunes nothing.
+        screen_window: stage-1 window size (default
+            ``max(config.s_min, min(config.s_max, 64))``).  Larger
+            windows suppress the spurious-maximum noise floor of the
+            screen (it shrinks like ``sqrt(log(K)/m)``) at the cost of
+            diluting couplings much shorter than the window; see GUIDE
+            §14 for tuning.
+        engine: optional preconfigured engine for stage 3.
+        n_jobs: stage-3 worker processes (see
+            :func:`~repro.analysis.pairwise.scan_pairs`).
+        store_path: directory of the series store the collection was
+            attached from, forwarded to the pool so workers memory-map
+            instead of copying.
+
+    Returns:
+        A :class:`~repro.analysis.pairwise.PairwiseReport` with the
+        survivors' findings and the cascade's pruning ledger.
+    """
+    names = list(series)
+    lengths = {series[name].size for name in names}
+    if len(lengths) > 1:
+        raise ValueError(f"all series must share a length, got {sorted(lengths)}")
+    pair_list = list(combinations(names, 2)) if pairs is None else list(pairs)
+    for source, target in pair_list:
+        if source not in series or target not in series:
+            raise KeyError(f"unknown series in pair ({source!r}, {target!r})")
+
+    margin = config.screen_margin if screen_margin is None else float(screen_margin)
+    if not margin >= 0:  # also rejects NaN
+        raise ValueError(f"screen_margin must be >= 0, got {margin}")
+    window = max(config.s_min, min(config.s_max, 64)) if screen_window is None else screen_window
+    fft_cut = screen_threshold - margin
+    nmi_cut = nmi_threshold - margin
+
+    def _stage(source: str, target: str) -> str:
+        x, y = series[source], series[target]
+        try:
+            fft_score = fft_screen_score(x, y, window, config.td_max)
+        except Exception:  # noqa: BLE001 - a crashed screen abstains
+            fft_score = float("inf")
+        if fft_score < fft_cut:
+            return "fft"
+        if min(x.size, y.size) < 8:
+            return "search"  # too short for any NMI probe: the screen abstains
+        try:
+            nmi_score = coarse_nmi_score(x, y, td_max=config.td_max)
+        except Exception:  # noqa: BLE001 - a crashed screen abstains
+            nmi_score = float("inf")
+        if nmi_score < nmi_cut:
+            return "nmi"
+        return "search"
+
+    decisions = [(pair, _stage(*pair)) for pair in pair_list]
+    survivors = [pair for pair, stage in decisions if stage == "search"]
+
+    report = scan_pairs(
+        series,
+        config,
+        pairs=survivors,
+        prefilter_threshold=0.0,
+        engine=engine,
+        n_jobs=n_jobs,
+        store_path=None if store_path is None else str(store_path),
+    )
+    report.skipped.extend(pair for pair, stage in decisions if stage != "search")
+    report.pairs_screened = len(pair_list)
+    report.pairs_pruned_fft = sum(1 for _, stage in decisions if stage == "fft")
+    report.pairs_pruned_nmi = sum(1 for _, stage in decisions if stage == "nmi")
+    report.pairs_searched = len(survivors)
+    return report
+
+
+def _format_top(report: PairwiseReport, k: int) -> str:
+    """Render the top-k ranking of a report as plain lines."""
+    lines = [f"top {k} pairs:"]
+    for rank, f in enumerate(report.top(k), start=1):
+        delays = "-" if f.delay_range is None else f"[{f.delay_range[0]}, {f.delay_range[1]}]"
+        lines.append(
+            f"  {rank}. {f.source} -> {f.target}: nmi={f.best_nmi:.2f} "
+            f"windows={f.windows} delays={delays}"
+        )
+    if len(lines) == 1:
+        lines.append("  (no correlated pairs)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``tycos-scan``; returns a process exit code.
+
+    Scans every pair of a collection through the prescreen cascade::
+
+        tycos-scan plugs.csv --td-max 48 --n-jobs -1
+        tycos-scan plugs.csv --store /tmp/plugs.store --top-k 10
+        tycos-scan /tmp/plugs.store --screen-margin 0   # re-scan a store
+        tycos-scan plugs.csv --no-screen                # unscreened scan
+
+    The positional input is a header-row CSV file or an existing series
+    store directory (:mod:`repro.analysis.store`).  ``--store DIR``
+    packs a CSV input into a store first, so pool workers memory-map the
+    collection instead of receiving copies.
+    """
+    parser = argparse.ArgumentParser(
+        prog="tycos-scan",
+        description="All-pairs TYCOS scan with an FFT + coarse-NMI prescreen cascade.",
+    )
+    parser.add_argument("input", help="CSV file (header row) or series store directory")
+    parser.add_argument(
+        "--screen", dest="screen", action="store_true", default=True,
+        help="prescreen pairs with the FFT + coarse-NMI cascade (default)",
+    )
+    parser.add_argument(
+        "--no-screen", dest="screen", action="store_false",
+        help="disable the cascade and search every pair",
+    )
+    parser.add_argument(
+        "--screen-threshold", type=float, default=0.6,
+        help="stage-1 nominal threshold on the best windowed |r| (default 0.6)",
+    )
+    parser.add_argument(
+        "--nmi-threshold", type=float, default=0.3,
+        help="stage-2 nominal threshold on the coarse NMI probe (default 0.3)",
+    )
+    parser.add_argument(
+        "--screen-margin", type=float, default=None,
+        help="conservatism margin subtracted from both screen thresholds "
+             "(default: config screen_margin = 0.25; 0 prunes at the nominal "
+             "thresholds, inf prunes nothing)",
+    )
+    parser.add_argument(
+        "--screen-window", type=int, default=None,
+        help="stage-1 window size (default: clamp(64, s_min, s_max))",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="pack a CSV input into a series store at DIR and scan from it "
+             "(pool workers then memory-map the collection)",
+    )
+    parser.add_argument(
+        "--top-k", type=int, default=None,
+        help="also print the k strongest pairs as a ranked list",
+    )
+    parser.add_argument("--sigma", type=float, default=0.3)
+    parser.add_argument("--epsilon-ratio", type=float, default=0.25)
+    parser.add_argument("--s-min", type=int, default=20)
+    parser.add_argument("--s-max", type=int, default=200)
+    parser.add_argument("--td-max", type=int, default=48)
+    parser.add_argument("--jitter", type=float, default=1e-6)
+    parser.add_argument("--permutations", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--n-jobs", type=int, default=1,
+        help="worker processes for the full searches (-1: all cores)",
+    )
+    parser.add_argument("--backend", choices=["auto", "numpy", "numba"], default="numpy")
+    parser.add_argument("--precision", choices=["float64", "float32"], default="float64")
+    args = parser.parse_args(argv)
+
+    config = TycosConfig(
+        sigma=args.sigma,
+        epsilon_ratio=args.epsilon_ratio,
+        s_min=args.s_min,
+        s_max=args.s_max,
+        td_max=args.td_max,
+        jitter=args.jitter,
+        significance_permutations=args.permutations,
+        seed=args.seed,
+        backend=args.backend,
+        precision=args.precision,
+    )
+
+    from repro.analysis.csvio import read_csv_series
+    from repro.analysis.store import SeriesStore
+
+    source = Path(args.input)
+    store_path: Optional[str] = None
+    if source.is_dir():
+        if args.store is not None:
+            parser.error("--store is for packing a CSV input; the input is already a store")
+        store = SeriesStore.open(source)
+        series = store.series()
+        store_path = str(source)
+    else:
+        series = read_csv_series(source)
+        if args.store is not None:
+            store = SeriesStore.write(args.store, series)
+            series = store.series()
+            store_path = args.store
+
+    if args.screen:
+        report = cascade_scan(
+            series,
+            config,
+            screen_threshold=args.screen_threshold,
+            nmi_threshold=args.nmi_threshold,
+            screen_margin=args.screen_margin,
+            screen_window=args.screen_window,
+            n_jobs=args.n_jobs,
+            store_path=store_path,
+        )
+    else:
+        report = scan_pairs(series, config, n_jobs=args.n_jobs, store_path=store_path)
+
+    print(report.to_text())
+    if args.top_k is not None:
+        print(_format_top(report, args.top_k))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,14 +19,11 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Dict, Iterable, List, Optional, Tuple
 
-import numpy as np
-
 from repro._types import FloatArray
 from repro.core.config import TycosConfig
 from repro.core.tycos import Tycos, TycosResult
 from repro.experiments.reporting import format_table, title
 from repro.mi.backends.dispatch import backend_metadata
-from repro.mi.normalized import normalized_mi
 
 __all__ = [
     "PairFinding",
@@ -86,6 +83,11 @@ class PairwiseReport:
     scan (kernel backend, precision tier, numba version) so a saved report
     states *how* its numbers were produced; see
     :func:`repro.mi.backends.dispatch.backend_metadata` for the keys.
+
+    The ``pairs_*`` counters are the pruning ledger of a cascade scan
+    (:func:`repro.analysis.cascade.cascade_scan`): how many pairs the
+    screens looked at, how many each stage rejected, and how many reached
+    the full TYCOS search.  A plain :func:`scan_pairs` leaves them at 0.
     """
 
     findings: List[PairFinding] = field(default_factory=list)
@@ -93,11 +95,21 @@ class PairwiseReport:
     failures: List[PairFailure] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     metadata: Dict[str, str] = field(default_factory=dict)
+    pairs_screened: int = 0
+    pairs_pruned_fft: int = 0
+    pairs_pruned_nmi: int = 0
+    pairs_searched: int = 0
 
     def correlated(self) -> List[PairFinding]:
         """Pairs with at least one extracted window, strongest first."""
         hits = [f for f in self.findings if f.windows > 0]
         return sorted(hits, key=lambda f: -f.best_nmi)
+
+    def top(self, k: int) -> List[PairFinding]:
+        """The ``k`` strongest correlated pairs (ties keep scan order)."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return self.correlated()[:k]
 
     def finding(self, source: str, target: str) -> PairFinding:
         """The finding of one pair (order-sensitive)."""
@@ -116,8 +128,16 @@ class PairwiseReport:
         body = format_table(headers, rows)
         skipped = f"\n({len(self.skipped)} pairs skipped by the pre-filter)" if self.skipped else ""
         failed = f"\n({len(self.failures)} pairs failed; see report.failures)" if self.failures else ""
+        cascade = (
+            f"\n(cascade: {self.pairs_screened} pairs screened, "
+            f"{self.pairs_pruned_fft} pruned by the FFT screen, "
+            f"{self.pairs_pruned_nmi} by the coarse-NMI screen, "
+            f"{self.pairs_searched} searched)"
+            if self.pairs_screened
+            else ""
+        )
         notes = "".join(f"\n(note: {note})" for note in self.notes)
-        return title("Pairwise correlation scan") + "\n" + body + skipped + failed + notes
+        return title("Pairwise correlation scan") + "\n" + body + skipped + failed + cascade + notes
 
 
 def prefilter_score(
@@ -128,6 +148,13 @@ def prefilter_score(
     td_max: int = 0,
 ) -> float:
     """A cheap relatedness score: best normalized MI over coarse probes.
+
+    .. deprecated:: PR 8
+        This is now a thin wrapper over
+        :func:`repro.analysis.cascade.coarse_nmi_score`, the cascade's
+        stage-2 screen -- the one coarse-NMI filtering mechanism in the
+        repository.  Call that directly in new code; this alias stays for
+        compatibility and returns identical values.
 
     Not a substitute for the search -- it only sees a few window positions
     -- but a pair whose every probe is flat noise is unlikely to reward a
@@ -145,16 +172,9 @@ def prefilter_score(
     Returns:
         The maximum normalized MI over all probes.
     """
-    n = min(x.size, y.size)
-    if n < probe + td_max:
-        return normalized_mi(x[:n], y[:n]) if n >= 8 else 0.0
-    best = 0.0
-    positions = np.linspace(td_max, n - probe - td_max, stride).astype(int)
-    for s in positions:
-        xw = x[s : s + probe]
-        for tau in range(-td_max, td_max + 1):
-            best = max(best, normalized_mi(xw, y[s + tau : s + tau + probe]))
-    return best
+    from repro.analysis.cascade import coarse_nmi_score
+
+    return coarse_nmi_score(x, y, probe=probe, stride=stride, td_max=td_max)
 
 
 def _evaluate_pair(
@@ -201,6 +221,7 @@ def scan_pairs(
     prefilter_threshold: float = 0.0,
     engine: Optional[Tycos] = None,
     n_jobs: Optional[int] = None,
+    store_path: Optional[str] = None,
 ) -> PairwiseReport:
     """Run TYCOS over every pair of a series collection.
 
@@ -221,6 +242,11 @@ def scan_pairs(
             :func:`repro.analysis.parallel.resolve_n_jobs`).  Results are
             merged in submission order, so the report is identical for
             every worker count.
+        store_path: directory of the :class:`repro.analysis.store`
+            store ``series`` was attached from, when it has one; parallel
+            workers then memory-map the store instead of receiving a
+            shared-memory copy.  Ignored by the serial path (the views
+            are already zero-copy there).
 
     Returns:
         A :class:`PairwiseReport` with one finding per scanned pair.  A
@@ -248,6 +274,7 @@ def scan_pairs(
             prefilter_threshold=prefilter_threshold,
             engine=engine,
             n_jobs=n_jobs,
+            store_path=store_path,
         )
 
     report = PairwiseReport(metadata=backend_metadata(config.backend, config.precision))

@@ -16,6 +16,10 @@ transfer cost exactly once:
   are merged by original submission index, so the report -- findings,
   skipped pairs, and failures, each in order -- is byte-identical to the
   serial scan for every worker count.
+* Collections that live in a :class:`repro.analysis.store.SeriesStore`
+  skip the copy entirely: pass ``store_path`` and each worker attaches
+  read-only memory-mapped views of the on-disk matrix, so the kernel
+  page cache -- not per-worker RAM -- holds the one shared copy.
 * A pair whose search raises is contained: the scan completes and the
   offending pair is reported in ``report.failures`` with its error,
   matching the serial path's containment.
@@ -28,12 +32,14 @@ import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro._types import FloatArray
 from repro.analysis.pairwise import PairFailure, PairwiseReport, _evaluate_pair
+from repro.analysis.store import SeriesStore
 from repro.core.config import TycosConfig
 from repro.core.tycos import Tycos
 from repro.mi.backends.dispatch import backend_metadata
@@ -207,6 +213,20 @@ def _init_pooled_worker_pickle(
     _WORKER_STATE.update(extra)
 
 
+def _init_pooled_worker_store(store_path: str, extra: Dict[str, Any]) -> None:
+    """Pool initializer: attach memory-mapped views of an on-disk store.
+
+    Only the *path* crosses the process boundary; the worker opens its
+    own read-only memmap, so every worker shares the parent's page-cache
+    copy instead of materializing the collection again.
+    """
+    _WORKER_STATE.clear()
+    store = SeriesStore.open(store_path)
+    _WORKER_STATE["store"] = store  # keep the mapping alive for the worker's life
+    _WORKER_STATE["series"] = store.series()
+    _WORKER_STATE.update(extra)
+
+
 def pooled_map(
     fn: Any,
     tasks: Sequence[Any],
@@ -215,6 +235,7 @@ def pooled_map(
     series: Dict[str, FloatArray],
     extra_state: Optional[Dict[str, Any]] = None,
     use_shared_memory: bool = True,
+    store_path: Optional[Union[str, Path]] = None,
 ) -> List[Any]:
     """Map ``fn`` over ``tasks`` on a process pool, series shipped once.
 
@@ -238,6 +259,11 @@ def pooled_map(
             state (e.g. the engine to scan with).
         use_shared_memory: transport series through shared memory (the
             default) rather than pickling them with the initargs.
+        store_path: when the collection lives in a
+            :class:`repro.analysis.store.SeriesStore`, its directory.
+            Only the path is shipped: each worker memory-maps the store
+            read-only, which supersedes both other transports (no copy
+            is made anywhere).
 
     Returns:
         ``[fn(task) for task in tasks]`` -- results in task order,
@@ -245,15 +271,19 @@ def pooled_map(
     """
     extra = dict(extra_state or {})
     shm: Optional[shared_memory.SharedMemory] = None
-    if use_shared_memory:
+    if store_path is None and use_shared_memory:
         try:
             shm, layout = pack_series(series)
         except (OSError, ValueError):
             shm = None  # e.g. /dev/shm unavailable in a sandbox
     try:
-        if shm is not None:
-            initializer = _init_pooled_worker_shm
-            initargs: Tuple[Any, ...] = (shm.name, layout, extra)
+        initargs: Tuple[Any, ...]
+        if store_path is not None:
+            initializer = _init_pooled_worker_store
+            initargs = (str(store_path), extra)
+        elif shm is not None:
+            initializer = _init_pooled_worker_shm  # type: ignore[assignment]
+            initargs = (shm.name, layout, extra)
         else:
             initializer = _init_pooled_worker_pickle  # type: ignore[assignment]
             initargs = (series, extra)
@@ -314,6 +344,7 @@ def scan_pairs_parallel(
     chunk_size: Optional[int] = None,
     use_shared_memory: bool = True,
     force_parallel: bool = False,
+    store_path: Optional[Union[str, Path]] = None,
 ) -> PairwiseReport:
     """Fan a pairwise scan over a process pool.
 
@@ -337,6 +368,10 @@ def scan_pairs_parallel(
         force_parallel: run the pool even on a 1-core host, where the
             default is to fall back to the serial scan (see
             :func:`effective_workers`).
+        store_path: directory of the :class:`repro.analysis.store`
+            store the collection lives in, when it has one; workers then
+            attach read-only memory maps instead of receiving a copy
+            (``series`` should be the same store's views).
 
     Returns:
         A :class:`PairwiseReport` identical to the serial scan's: findings,
@@ -394,6 +429,7 @@ def scan_pairs_parallel(
         series=series,
         extra_state={"engine": engine, "prefilter_threshold": prefilter_threshold},
         use_shared_memory=use_shared_memory,
+        store_path=store_path,
     ):
         for index, tag, payload in chunk_result:
             slots[index] = (tag, payload)

@@ -122,6 +122,15 @@ class TycosConfig:
             delay basin reachable while LAHC still does the fine
             positioning.  (Without this, TYCOS_L could not approach the
             brute-force recall Table 4 reports on delayed data.)
+        screen_margin: safety margin the all-pairs prescreen cascade
+            (:mod:`repro.analysis.cascade`) subtracts from its screen
+            thresholds before pruning a pair.  The FFT screens are linear
+            proxies for an information-theoretic search, so they must
+            under-bid: a pair is only pruned when its screen score falls
+            below ``threshold - screen_margin``.  ``0`` is the explicit
+            opt-out of that conservatism (prune exactly at the nominal
+            thresholds); ``inf`` disables pruning entirely, making a
+            cascade scan byte-identical to the unscreened scan.
         backend: which kernel engine serves the KSG hot loops
             (:mod:`repro.mi.backends`).  ``"numpy"`` (the default) keeps
             the legacy vectorized paths bit-for-bit unchanged;
@@ -163,6 +172,7 @@ class TycosConfig:
     coarse_sigma_ratio: float = 0.5
     delay_band: Optional[Tuple[int, int]] = None
     init_delay_step: Optional[int] = None
+    screen_margin: float = 0.25
     backend: str = "numpy"
     precision: str = "float64"
 
@@ -220,6 +230,8 @@ class TycosConfig:
             raise ValueError(
                 f"coarse_sigma_ratio must be in (0, 1], got {self.coarse_sigma_ratio}"
             )
+        if not self.screen_margin >= 0:  # also rejects NaN
+            raise ValueError(f"screen_margin must be >= 0, got {self.screen_margin}")
         if self.delay_band is not None:
             lo, hi = self.delay_band
             if lo > hi:

@@ -1,0 +1,231 @@
+"""Tests for the all-pairs prescreen cascade.
+
+The contract under test -- the recall gate the bench also enforces: a
+cascade scan's surviving findings are byte-identical to the unscreened
+``scan_pairs`` reference, every truly correlated pair survives the
+screens on the tracked workload, the per-stage counters account for
+every screened pair, and ``screen_margin=inf`` turns the cascade into
+the plain scan exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cascade import (
+    cascade_scan,
+    coarse_nmi_score,
+    fft_screen_score,
+    main,
+)
+from repro.analysis.pairwise import prefilter_score, scan_pairs
+from repro.core.config import TycosConfig
+
+
+def _config(**kwargs):
+    # sigma=0.5 / s_min=24 / 10 permutations keep finite-sample KSG noise
+    # below sigma on the white-noise pairs, so the unscreened reference's
+    # correlated set is the planted couplings, not estimator flukes --
+    # the precondition for asserting that pruned pairs lose nothing.
+    defaults = dict(
+        sigma=0.5, s_min=24, s_max=48, td_max=6, jitter=1e-6, seed=1,
+        significance_permutations=10,
+    )
+    defaults.update(kwargs)
+    return TycosConfig(**defaults)
+
+
+def _snapshot(report):
+    return (report.findings, report.skipped, report.failures)
+
+
+@pytest.fixture(scope="module")
+def collection():
+    """The tracked 8-series workload: 4 coupled, 4 independent noise."""
+    rng = np.random.default_rng(77)
+    n = 240
+    base = np.cumsum(rng.normal(size=n))
+    series = {}
+    for i in range(4):
+        series[f"coupled{i}"] = np.roll(base, i * 3) + rng.normal(scale=0.15, size=n)
+    for i in range(4):
+        series[f"noise{i}"] = rng.normal(size=n)
+    return series
+
+
+@pytest.fixture(scope="module")
+def unscreened(collection):
+    return scan_pairs(collection, _config())
+
+
+class TestRecallParity:
+    def test_surviving_findings_byte_identical(self, collection, unscreened):
+        report = cascade_scan(collection, _config(), screen_window=120)
+        reference = {(f.source, f.target): f for f in unscreened.findings}
+        assert report.findings  # the screens must not flatten the workload
+        for finding in report.findings:
+            assert finding == reference[(finding.source, finding.target)]
+
+    def test_correlated_pairs_survive(self, collection, unscreened):
+        report = cascade_scan(collection, _config(), screen_window=120)
+        surviving = {(f.source, f.target) for f in report.findings}
+        for finding in unscreened.correlated():
+            assert (finding.source, finding.target) in surviving
+
+    def test_margin_inf_is_byte_equal_to_plain_scan(self, collection, unscreened):
+        report = cascade_scan(collection, _config(), screen_margin=float("inf"))
+        assert _snapshot(report) == _snapshot(unscreened)
+        assert report.pairs_searched == report.pairs_screened
+        assert report.pairs_pruned_fft == 0
+        assert report.pairs_pruned_nmi == 0
+
+    def test_noise_pairs_are_pruned(self, collection):
+        report = cascade_scan(collection, _config(), screen_window=120)
+        assert report.pairs_pruned_fft > 0
+        pruned = set(report.skipped)
+        assert ("noise0", "noise1") in pruned
+
+
+class TestCounterAccounting:
+    def test_counters_account_for_every_pair(self, collection):
+        report = cascade_scan(collection, _config(), screen_window=120)
+        assert report.pairs_screened == 28  # C(8, 2)
+        assert (
+            report.pairs_pruned_fft + report.pairs_pruned_nmi + report.pairs_searched
+            == report.pairs_screened
+        )
+        assert report.pairs_searched == len(report.findings) + len(report.failures)
+        assert len(report.skipped) == report.pairs_pruned_fft + report.pairs_pruned_nmi
+
+    def test_plain_scan_leaves_counters_at_zero(self, unscreened):
+        assert unscreened.pairs_screened == 0
+        assert unscreened.pairs_searched == 0
+
+    def test_ledger_rendered_in_report_text(self, collection):
+        report = cascade_scan(collection, _config(), screen_window=120)
+        text = report.to_text()
+        assert f"{report.pairs_screened} pairs screened" in text
+        assert f"{report.pairs_pruned_fft} pruned by the FFT screen" in text
+
+    def test_explicit_pairs_and_margin_zero(self, collection):
+        pairs = [("noise0", "noise1"), ("coupled0", "coupled1")]
+        report = cascade_scan(
+            collection, _config(), pairs=pairs, screen_margin=0.0, screen_window=120
+        )
+        assert report.pairs_screened == 2
+        assert report.skipped == [("noise0", "noise1")]
+        assert [(f.source, f.target) for f in report.findings] == [("coupled0", "coupled1")]
+
+    def test_rejects_negative_margin(self, collection):
+        with pytest.raises(ValueError, match="screen_margin"):
+            cascade_scan(collection, _config(), screen_margin=-0.1)
+
+    def test_rejects_unknown_pair(self, collection):
+        with pytest.raises(KeyError, match="zzz"):
+            cascade_scan(collection, _config(), pairs=[("zzz", "noise0")])
+
+
+class TestTopK:
+    def test_top_k_ranks_strongest_first(self, collection):
+        report = cascade_scan(collection, _config(), screen_window=120)
+        top = report.top(2)
+        assert len(top) == 2
+        assert top[0].best_nmi >= top[1].best_nmi
+        assert top == report.correlated()[:2]
+
+    def test_top_zero_is_empty(self, unscreened):
+        assert unscreened.top(0) == []
+
+    def test_top_rejects_negative(self, unscreened):
+        with pytest.raises(ValueError, match=">= 0"):
+            unscreened.top(-1)
+
+
+class TestScreens:
+    def test_coupled_pair_scores_high(self, collection):
+        score = fft_screen_score(
+            collection["coupled0"], collection["coupled1"], window=120, td_max=6
+        )
+        assert score > 0.9
+
+    def test_noise_pair_scores_low(self, collection):
+        score = fft_screen_score(
+            collection["noise0"], collection["noise1"], window=120, td_max=6
+        )
+        assert score < 0.6
+
+    def test_anticorrelated_pair_scores_high(self, rng):
+        x = np.cumsum(rng.normal(size=300))
+        score = fft_screen_score(x, -x + rng.normal(scale=0.05, size=300), 100, 0)
+        assert score > 0.9
+
+    def test_short_series_abstain(self, rng):
+        # No window fits and no MASS probe runs: the screen must return
+        # inf (pass), never a prunable 0.
+        score = fft_screen_score(rng.normal(size=5), rng.normal(size=5), 50, 0)
+        assert score == float("inf")
+
+    def test_short_series_are_never_pruned(self, rng):
+        series = {"a": rng.normal(size=6), "b": rng.normal(size=6)}
+        config = _config(s_min=6, s_max=6, td_max=0)
+        report = cascade_scan(series, config, screen_window=50)
+        assert report.skipped == []
+        assert report.pairs_searched == 1
+
+    def test_prefilter_score_wraps_coarse_nmi(self, rng):
+        x = np.cumsum(rng.normal(size=400))
+        y = np.roll(x, 3) + rng.normal(scale=0.1, size=400)
+        assert prefilter_score(x, y, td_max=4) == coarse_nmi_score(x, y, td_max=4)
+
+
+class TestCli:
+    @pytest.fixture
+    def csv_file(self, tmp_path, rng):
+        n = 240
+        base = np.cumsum(rng.normal(size=n))
+        columns = {
+            "a": base + rng.normal(scale=0.1, size=n),
+            "b": np.roll(base, 4) + rng.normal(scale=0.1, size=n),
+            "c": rng.normal(size=n),
+            "d": rng.normal(size=n),
+        }
+        path = tmp_path / "data.csv"
+        with path.open("w") as handle:
+            handle.write(",".join(columns) + "\n")
+            for row in zip(*columns.values()):
+                handle.write(",".join(f"{v:.6f}" for v in row) + "\n")
+        return path
+
+    _FAST = ["--s-min", "8", "--s-max", "40", "--td-max", "6",
+             "--permutations", "0", "--screen-window", "120"]
+
+    def test_screened_scan(self, csv_file, capsys):
+        assert main([str(csv_file)] + self._FAST) == 0
+        out = capsys.readouterr().out
+        assert "pairs screened" in out
+        assert "a -> b" in out
+
+    def test_top_k_listing(self, csv_file, capsys):
+        assert main([str(csv_file), "--top-k", "1"] + self._FAST) == 0
+        out = capsys.readouterr().out
+        assert "top 1 pairs:" in out
+
+    def test_no_screen_mode(self, csv_file, capsys):
+        assert main([str(csv_file), "--no-screen"] + self._FAST) == 0
+        out = capsys.readouterr().out
+        assert "pairs screened" not in out
+
+    def test_store_pack_and_rescan(self, csv_file, tmp_path, capsys):
+        store_dir = tmp_path / "packed.store"
+        assert main([str(csv_file), "--store", str(store_dir)] + self._FAST) == 0
+        first = capsys.readouterr().out
+        # The packed store is itself a valid scan input.
+        assert main([str(store_dir)] + self._FAST) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_store_flag_rejected_for_store_input(self, csv_file, tmp_path, capsys):
+        store_dir = tmp_path / "packed.store"
+        assert main([str(csv_file), "--store", str(store_dir)] + self._FAST) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main([str(store_dir), "--store", str(tmp_path / "other")] + self._FAST)

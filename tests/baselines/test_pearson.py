@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines.pearson import pcc, pcc_scan, sliding_pcc
+from repro.baselines.pearson import pcc, pcc_scan, sliding_pcc, sliding_pcc_band
 
 
 class TestPcc:
@@ -68,6 +68,63 @@ class TestSlidingPcc:
     def test_rejects_window_below_two(self, rng):
         with pytest.raises(ValueError, match="window"):
             sliding_pcc(rng.normal(size=10), rng.normal(size=10), window=1)
+
+
+class TestSlidingPccBand:
+    """The batched band kernel is an amortization, never an approximation:
+    every row must be bit-identical to its per-delay reference."""
+
+    def test_bit_exact_vs_per_delay_path(self, rng):
+        x = np.cumsum(rng.normal(size=300))
+        y = np.roll(x, 6) + rng.normal(scale=0.1, size=300)
+        delays = list(range(-9, 10))
+        band = sliding_pcc_band(x, y, window=40, delays=delays)
+        assert len(band) == len(delays)
+        for delay, row in zip(delays, band):
+            reference = sliding_pcc(x, y, window=40, delay=delay)
+            assert row.shape == reference.shape
+            assert np.array_equal(row, reference)
+
+    def test_bit_exact_with_degenerate_stretches(self, rng):
+        # Flat (zero-variance) stretches exercise the denom==0 branch.
+        x = rng.normal(size=200)
+        x[40:120] = 2.5
+        y = rng.normal(size=200)
+        y[60:100] = -1.0
+        delays = [-5, -1, 0, 3, 7]
+        for delay, row in zip(delays, sliding_pcc_band(x, y, window=25, delays=delays)):
+            assert np.array_equal(row, sliding_pcc(x, y, window=25, delay=delay))
+
+    def test_mixed_fit_delays(self, rng):
+        # Delays large enough that some rows fit nothing come back empty,
+        # exactly like their per-delay reference.
+        x = rng.normal(size=30)
+        y = rng.normal(size=30)
+        delays = [0, 12, 25, -25, 29]
+        band = sliding_pcc_band(x, y, window=10, delays=delays)
+        for delay, row in zip(delays, band):
+            reference = sliding_pcc(x, y, window=10, delay=delay)
+            assert row.shape == reference.shape
+            assert np.array_equal(row, reference)
+
+    def test_empty_delay_list(self, rng):
+        assert sliding_pcc_band(rng.normal(size=50), rng.normal(size=50), 10, []) == []
+
+    def test_rejects_window_below_two(self, rng):
+        with pytest.raises(ValueError, match="window"):
+            sliding_pcc_band(rng.normal(size=10), rng.normal(size=10), 1, [0])
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_property_bit_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(12, 80))
+        window = int(rng.integers(2, 14))
+        x = rng.normal(size=n)
+        y = rng.normal(size=n)
+        delays = sorted(int(d) for d in rng.integers(-n, n, size=5))
+        for delay, row in zip(delays, sliding_pcc_band(x, y, window, delays)):
+            assert np.array_equal(row, sliding_pcc(x, y, window, delay))
 
 
 class TestPccScan:

@@ -453,6 +453,84 @@ class TestTY115:
 
 
 # --------------------------------------------------------------------- #
+# TY116 mmap / store-file confinement
+
+
+class TestTY116:
+    def test_fires_on_mmap_imports_outside_store(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            {
+                "src/repro/core/maps.py": "import mmap\n" + ALL_EXPORTS,
+                "src/repro/analysis/sneaky.py": "from mmap import ACCESS_READ\n"
+                + ALL_EXPORTS,
+            },
+            ["TY116"],
+        )
+        assert [v.code for v in found] == ["TY116", "TY116"]
+        messages = " ".join(v.message for v in found)
+        assert "STORE_MODULES" in messages
+
+    def test_fires_on_memmap_call_and_store_filenames(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            {
+                "src/repro/analysis/reader.py": """
+                    import numpy as np
+
+                    def attach(path):
+                        return np.memmap(path, dtype="float64", mode="r")
+                    __all__ = ["attach"]
+                    """,
+                "src/repro/core/peek.py": """
+                    def manifest_path(directory):
+                        return directory / "manifest.json"
+                    __all__ = ["manifest_path"]
+                    """,
+                "src/repro/core/raw.py": """
+                    DATA = "series.bin"
+                    __all__ = ["DATA"]
+                    """,
+            },
+            ["TY116"],
+        )
+        assert [v.code for v in found] == ["TY116", "TY116", "TY116"]
+        messages = " ".join(v.message for v in found)
+        assert "SeriesStore" in messages
+
+    def test_silent_in_store_module_and_tests(self, tmp_path):
+        found = lint_tree(
+            tmp_path,
+            {
+                # The registered store module owns the map and the names.
+                "src/repro/analysis/store.py": """
+                    import numpy as np
+
+                    MANIFEST_FILENAME = "manifest.json"
+                    DATA_FILENAME = "series.bin"
+
+                    def attach(path):
+                        return np.memmap(path, dtype="float64", mode="r")
+                    __all__ = ["MANIFEST_FILENAME", "DATA_FILENAME", "attach"]
+                    """,
+                # Consumers go through the store API: sanctioned.
+                "src/repro/analysis/cascade.py": """
+                    from repro.analysis.store import attach
+                    __all__ = ["attach"]
+                    """,
+                # Tests may poke the files directly.
+                "tests/analysis/test_store.py": """
+                    import mmap
+
+                    NAME = "manifest.json"
+                    """,
+            },
+            ["TY116"],
+        )
+        assert found == []
+
+
+# --------------------------------------------------------------------- #
 # TY121 bit-exactness gate coverage
 
 

@@ -45,6 +45,8 @@ from tools.tycoslint.registry import (
     PARALLEL_MODULES,
     POOL_SPAWNERS,
     REPORT_MODULES,
+    STORE_FILENAMES,
+    STORE_MODULES,
 )
 
 __all__ = [
@@ -56,6 +58,7 @@ __all__ = [
     "ImportTimeEnvReadRule",
     "WallClockInReportRule",
     "NumbaOutsideBackendsRule",
+    "MmapOutsideStoreRule",
     "MissingExactnessGateRule",
 ]
 
@@ -695,6 +698,74 @@ class NumbaOutsideBackendsRule(ProjectRule):
                             f"imports backend internals from {module}; "
                             "consumers select an engine through "
                             "repro.mi.backends.dispatch.get_kernels",
+                            path,
+                        )
+
+
+@register
+class MmapOutsideStoreRule(ProjectRule):
+    """TY116: memory maps and store file names only in the store module.
+
+    The on-disk series store (``repro.analysis.store``) is a format
+    contract -- a manifest plus a raw float64 matrix -- and a memory-map
+    lifetime.  A second module opening ``np.memmap``/``mmap`` or
+    spelling the store file names would be a second, unreviewed
+    interpreter of that contract; everything else attaches through
+    ``SeriesStore.open``/``SeriesStore.write``, which validate the
+    manifest and own the mapping.  Registered owners live in
+    ``registry.STORE_MODULES``.
+    """
+
+    code = "TY116"
+    name = "mmap-outside-store"
+    description = "mmap use or store file name outside registered store modules"
+
+    def check_project(self, project: ProjectModel) -> Iterator[Violation]:
+        for info in project.modules.values():
+            if not _repro_module(info) or info.name in STORE_MODULES:
+                continue
+            path = _path_of(info)
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name.split(".")[0] == "mmap":
+                            yield self.violation(
+                                node,
+                                "imports mmap; memory maps belong to the "
+                                "modules in tools.tycoslint.registry."
+                                "STORE_MODULES (attach via "
+                                "repro.analysis.store.SeriesStore)",
+                                path,
+                            )
+                elif isinstance(node, ast.ImportFrom):
+                    if (node.module or "").split(".")[0] == "mmap":
+                        yield self.violation(
+                            node,
+                            "imports from mmap; memory maps belong to the "
+                            "modules in tools.tycoslint.registry."
+                            "STORE_MODULES (attach via "
+                            "repro.analysis.store.SeriesStore)",
+                            path,
+                        )
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if isinstance(func, ast.Attribute) and func.attr == "memmap":
+                        yield self.violation(
+                            node,
+                            "calls memmap(); memory maps belong to the "
+                            "modules in tools.tycoslint.registry."
+                            "STORE_MODULES (attach via "
+                            "repro.analysis.store.SeriesStore)",
+                            path,
+                        )
+                elif isinstance(node, ast.Constant):
+                    if node.value in STORE_FILENAMES:
+                        yield self.violation(
+                            node,
+                            f"spells the store file name {node.value!r}; the "
+                            "store layout is a format contract owned by "
+                            "tools.tycoslint.registry.STORE_MODULES (go "
+                            "through repro.analysis.store.SeriesStore)",
                             path,
                         )
 

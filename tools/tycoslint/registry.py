@@ -30,6 +30,11 @@ Registering a module is a claim with obligations:
   engine through ``repro.mi.backends.dispatch.get_kernels`` only, so the
   optional dependency stays optional and the bit-exactness gate stays
   the single doorway to compiled code.
+* ``STORE_MODULES`` -- the modules allowed to open memory maps and to
+  spell the series-store file names (TY116).  Mmap lifetimes are easy to
+  leak and the store manifest is a format contract, so both get a single
+  audited owner; everything else attaches through
+  ``repro.analysis.store.SeriesStore``.
 """
 
 from __future__ import annotations
@@ -43,6 +48,8 @@ __all__ = [
     "FAST_PATH_GATES",
     "POOL_SPAWNERS",
     "BACKEND_MODULES",
+    "STORE_MODULES",
+    "STORE_FILENAMES",
 ]
 
 #: Modules allowed to own (and mutate) process-wide mutable state.
@@ -80,6 +87,7 @@ REPORT_MODULES: FrozenSet[str] = frozenset(
     {
         "repro.analysis.serialization",
         "repro.analysis.csvio",
+        "repro.analysis.cascade",
         "repro.experiments.reporting",
         "repro.experiments.summary",
     }
@@ -100,6 +108,8 @@ FAST_PATH_GATES: Dict[str, str] = {
     "repro.analysis.multiscale": "the exhaustive full-resolution search",
     "repro.mi.backends.dispatch": "the legacy numpy scoring paths",
     "repro.mi.backends.numpy_backend": "interpreted canonical kernels and legacy selection",
+    "repro.baselines.pearson": "the per-delay sliding_pcc loop",
+    "repro.analysis.cascade": "the unscreened scan_pairs reference",
 }
 
 #: Callables whose invocation marks "a pool has been spawned" for TY103.
@@ -120,3 +130,13 @@ BACKEND_MODULES: FrozenSet[str] = frozenset(
         "repro.mi.backends._kernels",
     }
 )
+
+#: Modules allowed to open memory maps and to spell the store file names
+#: (TY116).  Everything else attaches through
+#: ``repro.analysis.store.SeriesStore``.
+STORE_MODULES: FrozenSet[str] = frozenset({"repro.analysis.store"})
+
+#: File names of the on-disk series store (format contract).  Spelling
+#: one of these outside ``STORE_MODULES`` means a second module is
+#: interpreting the store layout; route it through ``SeriesStore``.
+STORE_FILENAMES: FrozenSet[str] = frozenset({"manifest.json", "series.bin"})
