@@ -12,7 +12,13 @@ cost and most pairs are obviously unrelated.  This module prunes pairs
    band, plus MASS distance profiles
    (:func:`repro.baselines.mass.mass_distance_profile`) converted to
    correlation scores through ``d^2 = 2m(1 - r)``.  Both are
-   O(n log n)-class and touch no KSG machinery.
+   O(n log n)-class and touch no KSG machinery.  The scan runs this
+   stage *collection-level*: per-series screen state is precomputed
+   once (:mod:`repro.analysis.screen_state`, cached on disk for store
+   collections) and pairs are scored in batched blocks of
+   ``config.screen_block``, optionally fanned over the process pool --
+   with scores bit-identical to calling :func:`fft_screen_score` per
+   pair, at every block size and worker count.
 2. **Coarse NMI screen** (:func:`coarse_nmi_score`): the repository's
    one coarse-NMI filtering mechanism (formerly
    ``pairwise.prefilter_score``, which now wraps this), run only on
@@ -37,6 +43,7 @@ stage rather than being silently dropped.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from itertools import combinations
 from pathlib import Path
@@ -45,7 +52,14 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro._types import FloatArray
-from repro.analysis.pairwise import PairwiseReport, scan_pairs
+from repro.analysis.pairwise import PairwiseReport, scan_pairs, timed
+from repro.analysis.parallel import effective_workers, pooled_map, worker_state
+from repro.analysis.screen_state import (
+    ScreenGeometry,
+    SeriesScreenState,
+    batched_screen_scores,
+    build_screen_states,
+)
 from repro.baselines.mass import mass_distance_profile
 from repro.baselines.pearson import sliding_pcc_band
 from repro.core.config import TycosConfig
@@ -58,6 +72,8 @@ __all__ = [
     "cascade_scan",
     "main",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 def coarse_nmi_score(
@@ -153,6 +169,147 @@ def fft_screen_score(
     return best
 
 
+def _collection_states(
+    series: Dict[str, FloatArray],
+    names: List[str],
+    geometry: ScreenGeometry,
+    store_path: Optional[Union[str, Path]],
+) -> List[SeriesScreenState]:
+    """Per-series screen states, indexed like ``names``.
+
+    Collections that live in a series store are served from the store's
+    memory-mapped screen cache
+    (:meth:`repro.analysis.store.SeriesStore.screen_states`); any cache
+    trouble -- an unwritable directory, a store that doesn't cover the
+    collection -- falls back to building in memory rather than failing
+    the scan.
+    """
+    if store_path is not None:
+        from repro.analysis.store import SeriesStore
+
+        try:
+            by_name = SeriesStore.open(store_path).screen_states(geometry)
+            return [by_name[name] for name in names]
+        except Exception as exc:  # noqa: BLE001 - cache trouble must not fail the scan
+            logger.warning(
+                "screen-state cache at %s unavailable (%s: %s); building in memory",
+                store_path,
+                type(exc).__name__,
+                exc,
+            )
+    by_name = build_screen_states(series, geometry)
+    return [by_name[name] for name in names]
+
+
+def _screen_block_task(
+    task: Tuple[int, List[Tuple[int, int]]]
+) -> Tuple[int, List[float]]:
+    """Worker task: stage-1 scores of one ``(start, index pairs)`` block.
+
+    The per-series states are built once per worker process (from the
+    attached store's screen cache when the collection has one, else from
+    the shipped series) and memoized in :func:`worker_state`, so every
+    later block the worker draws only pays the batched kernels.  A
+    block whose screen crashes abstains: every pair scores ``inf`` and
+    advances, matching the serial path's containment.
+    """
+    start, pair_block = task
+    state = worker_state()
+    geometry: ScreenGeometry = state["screen_geometry"]
+    try:
+        states = state.get("screen_states")
+        if states is None:
+            names: List[str] = state["screen_names"]
+            store = state.get("store")
+            by_name: Optional[Dict[str, SeriesScreenState]] = None
+            if store is not None:
+                try:
+                    by_name = store.screen_states(geometry, write=False)
+                    states = [by_name[name] for name in names]
+                except Exception:  # noqa: BLE001 - fall back to in-memory build
+                    states = None
+            if states is None:
+                by_name = build_screen_states(
+                    {name: state["series"][name] for name in names}, geometry
+                )
+                states = [by_name[name] for name in names]
+            state["screen_states"] = states
+        return start, batched_screen_scores(states, pair_block, geometry)
+    except Exception:  # noqa: BLE001 - a crashed screen abstains
+        return start, [float("inf")] * len(pair_block)
+
+
+def _screen_scores(
+    series: Dict[str, FloatArray],
+    pair_list: List[Tuple[str, str]],
+    geometry: ScreenGeometry,
+    block: int,
+    n_jobs: Optional[int],
+    store_path: Optional[Union[str, Path]],
+    force_parallel: bool,
+) -> List[float]:
+    """Stage-1 screen scores of every pair, blocked and optionally pooled.
+
+    Pairs are scored in blocks of ``block`` through
+    :func:`repro.analysis.screen_state.batched_screen_scores`, fanned
+    over the process pool when ``n_jobs`` asks for workers (with the
+    usual 1-core serial fallback of
+    :func:`repro.analysis.parallel.effective_workers`).  Scores come
+    back in original pair order and are bit-identical to per-pair
+    :func:`fft_screen_score` at every block size and worker count.  A
+    block whose screen raises abstains (all ``inf``) instead of failing
+    the scan.
+    """
+    names = list(series)
+    index = {name: k for k, name in enumerate(names)}
+    pair_idx = [(index[s], index[t]) for s, t in pair_list]
+    blocks = [
+        (start, pair_idx[start : start + block])
+        for start in range(0, len(pair_idx), block)
+    ]
+    workers, _ = effective_workers(
+        1 if n_jobs is None else n_jobs,
+        len(blocks),
+        force_parallel=force_parallel,
+        what="cascade screen",
+    )
+    scores = [float("inf")] * len(pair_idx)
+    if workers > 1:
+        if store_path is not None:
+            # Build (and persist) the store's screen cache once in the
+            # parent, so every worker just memory-maps it.
+            from repro.analysis.store import SeriesStore
+
+            try:
+                SeriesStore.open(store_path).screen_states(geometry)
+            except Exception as exc:  # noqa: BLE001 - workers rebuild in memory
+                logger.warning(
+                    "could not pre-build the screen cache at %s (%s: %s); "
+                    "workers will build states in memory",
+                    store_path,
+                    type(exc).__name__,
+                    exc,
+                )
+        for start, block_scores in pooled_map(
+            _screen_block_task,
+            blocks,
+            workers=workers,
+            series=series,
+            extra_state={"screen_geometry": geometry, "screen_names": names},
+            store_path=store_path,
+        ):
+            scores[start : start + len(block_scores)] = block_scores
+        return scores
+    states = _collection_states(series, names, geometry, store_path)
+    for start, pair_block in blocks:
+        try:
+            block_scores = batched_screen_scores(states, pair_block, geometry)
+        except Exception:  # noqa: BLE001 - a crashed screen abstains
+            block_scores = [float("inf")] * len(pair_block)
+        scores[start : start + len(block_scores)] = block_scores
+    return scores
+
+
 def cascade_scan(
     series: Dict[str, FloatArray],
     config: TycosConfig,
@@ -164,20 +321,24 @@ def cascade_scan(
     engine: Optional[Tycos] = None,
     n_jobs: Optional[int] = None,
     store_path: Optional[Union[str, Path]] = None,
+    screen_block: Optional[int] = None,
+    force_parallel: bool = False,
 ) -> PairwiseReport:
     """Run the prescreen cascade over every pair of a collection.
 
-    Stage 1 (:func:`fft_screen_score`) and stage 2
-    (:func:`coarse_nmi_score`) prune pairs whose score falls below
-    ``threshold - margin``; stage 3 runs the full TYCOS search on the
-    survivors **in the original pair order**, so with nothing pruned the
-    result is byte-identical to the unscreened
+    Stage 1 (the batched collection-level form of
+    :func:`fft_screen_score`; see :mod:`repro.analysis.screen_state`)
+    and stage 2 (:func:`coarse_nmi_score`) prune pairs whose score falls
+    below ``threshold - margin``; stage 3 runs the full TYCOS search on
+    the survivors **in the original pair order**, so with nothing pruned
+    the result is byte-identical to the unscreened
     :func:`~repro.analysis.pairwise.scan_pairs`.  Pruned pairs are
     reported in ``report.skipped`` (original order) and the per-stage
     ledger in the ``pairs_*`` counters, which always satisfy
     ``pairs_pruned_fft + pairs_pruned_nmi + pairs_searched ==
     pairs_screened`` -- a screen that raises abstains (the pair advances)
-    rather than breaking the accounting.
+    rather than breaking the accounting.  ``report.phase_seconds``
+    records the screen and search wall clocks.
 
     Args:
         series: name -> series mapping; all series must share a length.
@@ -199,11 +360,21 @@ def cascade_scan(
             diluting couplings much shorter than the window; see GUIDE
             §14 for tuning.
         engine: optional preconfigured engine for stage 3.
-        n_jobs: stage-3 worker processes (see
+        n_jobs: worker processes for both the stage-1 screen blocks and
+            the stage-3 searches (see
             :func:`~repro.analysis.pairwise.scan_pairs`).
         store_path: directory of the series store the collection was
-            attached from, forwarded to the pool so workers memory-map
-            instead of copying.
+            attached from.  Stage 1 then serves its per-series state
+            from the store's memory-mapped screen cache (built once,
+            reused across scans), and pool workers memory-map instead
+            of copying.
+        screen_block: pairs per stage-1 batch (default
+            ``config.screen_block``).  Any block size produces
+            bit-identical scores; larger blocks amortize kernel launch
+            overhead against peak memory.
+        force_parallel: run requested pools even on a 1-core host,
+            where the default falls back to serial (see
+            :func:`repro.analysis.parallel.effective_workers`).
 
     Returns:
         A :class:`~repro.analysis.pairwise.PairwiseReport` with the
@@ -222,17 +393,14 @@ def cascade_scan(
     if not margin >= 0:  # also rejects NaN
         raise ValueError(f"screen_margin must be >= 0, got {margin}")
     window = max(config.s_min, min(config.s_max, 64)) if screen_window is None else screen_window
+    block = config.screen_block if screen_block is None else int(screen_block)
+    if block < 1:
+        raise ValueError(f"screen_block must be >= 1, got {block}")
     fft_cut = screen_threshold - margin
     nmi_cut = nmi_threshold - margin
 
-    def _stage(source: str, target: str) -> str:
+    def _stage2(source: str, target: str) -> str:
         x, y = series[source], series[target]
-        try:
-            fft_score = fft_screen_score(x, y, window, config.td_max)
-        except Exception:  # noqa: BLE001 - a crashed screen abstains
-            fft_score = float("inf")
-        if fft_score < fft_cut:
-            return "fft"
         if min(x.size, y.size) < 8:
             return "search"  # too short for any NMI probe: the screen abstains
         try:
@@ -243,23 +411,43 @@ def cascade_scan(
             return "nmi"
         return "search"
 
-    decisions = [(pair, _stage(*pair)) for pair in pair_list]
+    def _decide() -> List[Tuple[Tuple[str, str], str]]:
+        if not pair_list:
+            return []
+        length = series[pair_list[0][0]].size
+        if length < 1:
+            fft_scores = [float("inf")] * len(pair_list)  # nothing to screen
+        else:
+            geometry = ScreenGeometry(length=length, window=window, td_max=config.td_max)
+            fft_scores = _screen_scores(
+                series, pair_list, geometry, block, n_jobs, store_path, force_parallel
+            )
+        return [
+            (pair, "fft" if score < fft_cut else _stage2(*pair))
+            for pair, score in zip(pair_list, fft_scores)
+        ]
+
+    decisions, screen_seconds = timed(_decide)
     survivors = [pair for pair, stage in decisions if stage == "search"]
 
-    report = scan_pairs(
-        series,
-        config,
-        pairs=survivors,
-        prefilter_threshold=0.0,
-        engine=engine,
-        n_jobs=n_jobs,
-        store_path=None if store_path is None else str(store_path),
+    report, search_seconds = timed(
+        lambda: scan_pairs(
+            series,
+            config,
+            pairs=survivors,
+            prefilter_threshold=0.0,
+            engine=engine,
+            n_jobs=n_jobs,
+            store_path=None if store_path is None else str(store_path),
+        )
     )
     report.skipped.extend(pair for pair, stage in decisions if stage != "search")
     report.pairs_screened = len(pair_list)
     report.pairs_pruned_fft = sum(1 for _, stage in decisions if stage == "fft")
     report.pairs_pruned_nmi = sum(1 for _, stage in decisions if stage == "nmi")
     report.pairs_searched = len(survivors)
+    report.phase_seconds["screen"] = screen_seconds
+    report.phase_seconds["search"] = search_seconds
     return report
 
 
@@ -322,6 +510,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--screen-window", type=int, default=None,
         help="stage-1 window size (default: clamp(64, s_min, s_max))",
+    )
+    parser.add_argument(
+        "--screen-block", type=int, default=None,
+        help="pairs per batched stage-1 screen block (default: config "
+             "screen_block = 256; any size scores bit-identically)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="append the per-phase wall-clock ledger (screen vs search) "
+             "to the report",
     )
     parser.add_argument(
         "--store", default=None, metavar="DIR",
@@ -387,13 +585,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             nmi_threshold=args.nmi_threshold,
             screen_margin=args.screen_margin,
             screen_window=args.screen_window,
+            screen_block=args.screen_block,
             n_jobs=args.n_jobs,
             store_path=store_path,
         )
     else:
-        report = scan_pairs(series, config, n_jobs=args.n_jobs, store_path=store_path)
+        report, search_seconds = timed(
+            lambda: scan_pairs(series, config, n_jobs=args.n_jobs, store_path=store_path)
+        )
+        report.phase_seconds["search"] = search_seconds
 
-    print(report.to_text())
+    print(report.to_text(include_timings=args.profile))
     if args.top_k is not None:
         print(_format_top(report, args.top_k))
     return 0

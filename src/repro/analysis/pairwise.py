@@ -15,9 +15,11 @@ pairs is quadratic in the number of sensors.
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro._types import FloatArray
 from repro.core.config import TycosConfig
@@ -31,7 +33,23 @@ __all__ = [
     "PairwiseReport",
     "scan_pairs",
     "prefilter_score",
+    "timed",
 ]
+
+
+def timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` and return ``(result, wall seconds)``.
+
+    The one wall-clock helper of the scanning layer: report modules
+    (tycoslint TY114, e.g. :mod:`repro.analysis.cascade`) must not call
+    clocks themselves, so they time their phases through this function
+    and record only the *durations* -- which every serializer already
+    excludes from byte-compared payloads -- in
+    :attr:`PairwiseReport.phase_seconds`.
+    """
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
 
 
 @dataclass(frozen=True)
@@ -88,6 +106,14 @@ class PairwiseReport:
     (:func:`repro.analysis.cascade.cascade_scan`): how many pairs the
     screens looked at, how many each stage rejected, and how many reached
     the full TYCOS search.  A plain :func:`scan_pairs` leaves them at 0.
+
+    ``phase_seconds`` is the wall-clock side of that ledger: per-phase
+    durations (``"screen"``, ``"search"``) a cascade records so
+    screen-vs-search cost is attributable from the report alone.  Like
+    ``notes`` it never affects results; the default :meth:`to_text`
+    rendering omits it so byte-compared report payloads stay
+    clock-free (pass ``include_timings=True``, or ``--profile`` on the
+    CLI, to see it).
     """
 
     findings: List[PairFinding] = field(default_factory=list)
@@ -99,6 +125,7 @@ class PairwiseReport:
     pairs_pruned_fft: int = 0
     pairs_pruned_nmi: int = 0
     pairs_searched: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def correlated(self) -> List[PairFinding]:
         """Pairs with at least one extracted window, strongest first."""
@@ -118,8 +145,13 @@ class PairwiseReport:
                 return f
         raise KeyError(f"pair ({source!r}, {target!r}) was not scanned")
 
-    def to_text(self) -> str:
-        """Render the correlated pairs as a summary table."""
+    def to_text(self, include_timings: bool = False) -> str:
+        """Render the correlated pairs as a summary table.
+
+        ``include_timings`` appends the :attr:`phase_seconds` ledger;
+        the default omits it so the rendering of two identical scans is
+        byte-identical however long they took.
+        """
         headers = ["pair", "windows", "best nmi", "delay range"]
         rows: List[List[object]] = []
         for f in self.correlated():
@@ -137,7 +169,16 @@ class PairwiseReport:
             else ""
         )
         notes = "".join(f"\n(note: {note})" for note in self.notes)
-        return title("Pairwise correlation scan") + "\n" + body + skipped + failed + cascade + notes
+        timings = ""
+        if include_timings and self.phase_seconds:
+            timings = "".join(
+                f"\n(phase {phase}: {seconds:.3f}s)"
+                for phase, seconds in self.phase_seconds.items()
+            )
+        return (
+            title("Pairwise correlation scan")
+            + "\n" + body + skipped + failed + cascade + notes + timings
+        )
 
 
 def prefilter_score(
@@ -154,7 +195,8 @@ def prefilter_score(
         :func:`repro.analysis.cascade.coarse_nmi_score`, the cascade's
         stage-2 screen -- the one coarse-NMI filtering mechanism in the
         repository.  Call that directly in new code; this alias stays for
-        compatibility and returns identical values.
+        compatibility, returns identical values, and emits a
+        ``DeprecationWarning`` on every call.
 
     Not a substitute for the search -- it only sees a few window positions
     -- but a pair whose every probe is flat noise is unlikely to reward a
@@ -174,6 +216,12 @@ def prefilter_score(
     """
     from repro.analysis.cascade import coarse_nmi_score
 
+    warnings.warn(
+        "prefilter_score is deprecated; call "
+        "repro.analysis.cascade.coarse_nmi_score instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return coarse_nmi_score(x, y, probe=probe, stride=stride, td_max=td_max)
 
 
@@ -195,11 +243,11 @@ def _evaluate_pair(
         ``("skipped", None)`` when the pre-filter rejects the pair, else
         ``("finding", PairFinding)``.
     """
-    if (
-        prefilter_threshold > 0.0
-        and prefilter_score(x, y, td_max=config.td_max) < prefilter_threshold
-    ):
-        return ("skipped", None)
+    if prefilter_threshold > 0.0:
+        from repro.analysis.cascade import coarse_nmi_score
+
+        if coarse_nmi_score(x, y, td_max=config.td_max) < prefilter_threshold:
+            return ("skipped", None)
     result: TycosResult = engine.search(x, y)
     best = max((r.nmi for r in result.windows), default=0.0)
     return (

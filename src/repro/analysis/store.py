@@ -27,22 +27,44 @@ a format contract, so both get a single audited owner.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import Dict, Iterator, List, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
 from repro._types import FloatArray
+from repro.analysis.screen_state import (
+    ScreenGeometry,
+    SeriesScreenState,
+    build_screen_state,
+    pack_screen_state,
+    screen_state_width,
+    unpack_screen_state,
+)
 
-__all__ = ["SeriesStore", "STORE_SCHEMA", "MANIFEST_FILENAME", "DATA_FILENAME"]
+__all__ = [
+    "SeriesStore",
+    "STORE_SCHEMA",
+    "SCREEN_SCHEMA",
+    "MANIFEST_FILENAME",
+    "DATA_FILENAME",
+    "SCREEN_MANIFEST_FILENAME",
+    "SCREEN_DATA_FILENAME",
+]
 
 #: Manifest schema identifier; bump on any layout change.
 STORE_SCHEMA = "tycos-store/1"
 
+#: Screen-state cache schema identifier; bump on any layout change.
+SCREEN_SCHEMA = "tycos-screen/1"
+
 #: File names inside a store directory (format contract, see TY116).
 MANIFEST_FILENAME = "manifest.json"
 DATA_FILENAME = "series.bin"
+SCREEN_MANIFEST_FILENAME = "screen.json"
+SCREEN_DATA_FILENAME = "screen.bin"
 
 
 class SeriesStore:
@@ -219,3 +241,130 @@ class SeriesStore:
             view.flags.writeable = False
             out[name] = view
         return out
+
+    # ------------------------------------------------------------------ #
+    # Screen-state cache
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the series data file, memoized per open store.
+
+        The invalidation key of every derived cache in the directory:
+        rewriting the store changes the fingerprint, so stale sidecars
+        are recomputed instead of silently served.
+        """
+        if not hasattr(self, "_fingerprint"):
+            digest = hashlib.sha256()
+            with (self._path / DATA_FILENAME).open("rb") as handle:
+                for chunk in iter(lambda: handle.read(1 << 20), b""):
+                    digest.update(chunk)
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def screen_states(
+        self, geometry: ScreenGeometry, write: bool = True
+    ) -> Dict[str, SeriesScreenState]:
+        """Per-series screen states, served from the on-disk cache.
+
+        The cascade's stage-1 state
+        (:mod:`repro.analysis.screen_state`) is a pure function of the
+        series matrix and the screen geometry, so it is cached next to
+        the data as a second memory-mapped matrix (``screen.bin`` plus
+        the ``screen.json`` sidecar manifest).  A valid cache -- same
+        schema, same geometry, same series :meth:`fingerprint` -- is
+        attached zero-copy, exactly like the series themselves; a
+        missing or stale cache is rebuilt from the series and, when
+        ``write`` is true and the directory is writable, persisted for
+        the next consumer (pool workers attaching through
+        ``store_path`` hit the cache the parent just wrote).  Packing
+        is lossless, so cached states reproduce freshly built ones
+        bit-for-bit -- and therefore the per-pair reference screen too.
+
+        Args:
+            geometry: the collection's screen geometry; its ``length``
+                must match the store's.
+            write: persist a freshly built cache when possible.
+
+        Returns:
+            name -> :class:`SeriesScreenState`, in manifest order.
+        """
+        if geometry.length != self.length:
+            raise ValueError(
+                f"geometry length {geometry.length} does not match store length {self.length}"
+            )
+        if geometry.abstains:
+            return {
+                name: build_screen_state(self._matrix[row], geometry)
+                for row, name in enumerate(self._names)
+            }
+        cached = self._load_screen_cache(geometry)
+        if cached is not None:
+            return cached
+        states = {
+            name: build_screen_state(self._matrix[row], geometry)
+            for row, name in enumerate(self._names)
+        }
+        if write:
+            try:
+                self._write_screen_cache(states, geometry)
+            except OSError:
+                return states  # read-only directory: serve the in-memory build
+            reloaded = self._load_screen_cache(geometry)
+            if reloaded is not None:
+                return reloaded
+        return states
+
+    def _screen_manifest(self, geometry: ScreenGeometry) -> Dict[str, object]:
+        return {
+            "schema": SCREEN_SCHEMA,
+            "fingerprint": self.fingerprint(),
+            "geometry": list(geometry.key()),
+            "state_width": screen_state_width(geometry),
+        }
+
+    def _load_screen_cache(
+        self, geometry: ScreenGeometry
+    ) -> Optional[Dict[str, SeriesScreenState]]:
+        """Attach a valid screen cache read-only, or None on any mismatch."""
+        manifest_path = self._path / SCREEN_MANIFEST_FILENAME
+        data_path = self._path / SCREEN_DATA_FILENAME
+        if not manifest_path.is_file() or not data_path.is_file():
+            return None
+        try:
+            with manifest_path.open() as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        width = screen_state_width(geometry)
+        expected = {
+            "schema": SCREEN_SCHEMA,
+            "fingerprint": self.fingerprint(),
+            "geometry": list(geometry.key()),
+            "state_width": width,
+        }
+        if not isinstance(manifest, dict) or {
+            key: manifest.get(key) for key in expected
+        } != expected:
+            return None
+        expected_bytes = len(self._names) * width * np.dtype(np.float64).itemsize
+        if data_path.stat().st_size != expected_bytes:
+            return None
+        matrix = np.memmap(
+            data_path, dtype=np.float64, mode="r", shape=(len(self._names), width)
+        )
+        return {
+            name: unpack_screen_state(matrix[row], geometry)
+            for row, name in enumerate(self._names)
+        }
+
+    def _write_screen_cache(
+        self, states: Dict[str, SeriesScreenState], geometry: ScreenGeometry
+    ) -> None:
+        """Persist the cache (data first, manifest last, single-writer)."""
+        width = screen_state_width(geometry)
+        matrix = np.zeros((len(self._names), width), dtype=np.float64)
+        for row, name in enumerate(self._names):
+            pack_screen_state(states[name], geometry, matrix[row])
+        matrix.tofile(self._path / SCREEN_DATA_FILENAME)
+        with (self._path / SCREEN_MANIFEST_FILENAME).open("w") as handle:
+            json.dump(self._screen_manifest(geometry), handle, indent=2)
+            handle.write("\n")

@@ -19,7 +19,23 @@ from typing import List
 
 import numpy as np
 
-__all__ = ["mass_distance_profile", "MassMatch", "mass_top_matches"]
+__all__ = ["mass_fft_size", "mass_distance_profile", "MassMatch", "mass_top_matches"]
+
+
+def mass_fft_size(n: int, m: int) -> int:
+    """The padded power-of-two FFT size of a MASS convolution.
+
+    The linear convolution of a length-``n`` series with a length-``m``
+    query needs at least ``n + m`` samples of padding to avoid circular
+    wrap-around; MASS rounds up to a power of two.  Exposed so callers
+    that precompute spectra (the cascade's collection-level screen
+    state) agree with :func:`mass_distance_profile` about the padded
+    size -- a mismatched size changes every float of the profile.
+    """
+    size = 1
+    while size < n + m:
+        size <<= 1
+    return size
 
 
 def mass_distance_profile(query: np.ndarray, series: np.ndarray) -> np.ndarray:
@@ -49,9 +65,7 @@ def mass_distance_profile(query: np.ndarray, series: np.ndarray) -> np.ndarray:
     q_norm = (query - query.mean()) / sigma_q
 
     # Sliding dot products via FFT: conv(series, reversed(query)).
-    size = 1
-    while size < n + m:
-        size <<= 1
+    size = mass_fft_size(n, m)
     fft_series = np.fft.rfft(series, size)
     fft_query = np.fft.rfft(q_norm[::-1], size)
     qt = np.fft.irfft(fft_series * fft_query, size)[m - 1 : n]

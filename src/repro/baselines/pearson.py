@@ -15,7 +15,36 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["pcc", "sliding_pcc", "sliding_pcc_band", "PccWindow", "pcc_scan"]
+__all__ = [
+    "pcc",
+    "sliding_pcc",
+    "sliding_pcc_band",
+    "roll_sum_rows",
+    "PccWindow",
+    "pcc_scan",
+]
+
+
+def roll_sum_rows(block: np.ndarray, window: int) -> np.ndarray:
+    """Row-wise rolling window sums of a 2-D block, via cumulative sums.
+
+    The band kernel's one batched primitive, exposed so the cascade's
+    collection-level screen state (:mod:`repro.analysis.screen_state`)
+    computes its per-series and per-pair moments with the *same* recipe:
+    ``cumsum(axis=1)`` accumulates each row in exactly the order of the
+    1-D path, so every valid prefix carries floats bit-identical to
+    ``sliding_pcc``'s ``roll_sum`` on that row alone.
+
+    Args:
+        block: ``(rows, width)`` float64 block.
+        window: rolling window size ``m``.
+
+    Returns:
+        ``(rows, width - m + 1)`` rolling sums.
+    """
+    rows = block.shape[0]
+    c = np.concatenate([np.zeros((rows, 1)), np.cumsum(block, axis=1)], axis=1)
+    return c[:, window:] - c[:, :-window]
 
 
 def pcc(x: np.ndarray, y: np.ndarray) -> float:
@@ -138,17 +167,11 @@ def sliding_pcc_band(
             ys[j, :length] = y[lo + d : lo + d + length]
 
     # Batched rolling sums: one cumsum over the whole band per moment.
-    # Row-wise cumsum accumulates sequentially in the same order as the
-    # 1-D path, so valid prefixes carry identical floats.
-    def roll_sum(a: np.ndarray) -> np.ndarray:
-        c = np.concatenate([np.zeros((rows, 1)), np.cumsum(a, axis=1)], axis=1)
-        return c[:, m:] - c[:, :-m]
-
-    sx = roll_sum(xs)
-    sy = roll_sum(ys)
-    sxx = roll_sum(xs * xs)
-    syy = roll_sum(ys * ys)
-    sxy = roll_sum(xs * ys)
+    sx = roll_sum_rows(xs, m)
+    sy = roll_sum_rows(ys, m)
+    sxx = roll_sum_rows(xs * xs, m)
+    syy = roll_sum_rows(ys * ys, m)
+    sxy = roll_sum_rows(xs * ys, m)
     cov = sxy - sx * sy / m
     varx = sxx - sx * sx / m
     vary = syy - sy * sy / m

@@ -131,6 +131,15 @@ class TycosConfig:
             opt-out of that conservatism (prune exactly at the nominal
             thresholds); ``inf`` disables pruning entirely, making a
             cascade scan byte-identical to the unscreened scan.
+        screen_block: pairs per batched stage-1 screen block
+            (:mod:`repro.analysis.screen_state`).  Each block is scored
+            by a few batched numpy kernels over the stacked per-series
+            states, so larger blocks amortize more dispatch overhead at
+            the cost of a larger working set (roughly ``block_size x
+            (2 td_max + 1) x n`` floats for the band product plus the
+            stacked spectra).  Block boundaries never change results:
+            batched scores are bit-identical to the per-pair screen at
+            every block size.
         backend: which kernel engine serves the KSG hot loops
             (:mod:`repro.mi.backends`).  ``"numpy"`` (the default) keeps
             the legacy vectorized paths bit-for-bit unchanged;
@@ -173,6 +182,7 @@ class TycosConfig:
     delay_band: Optional[Tuple[int, int]] = None
     init_delay_step: Optional[int] = None
     screen_margin: float = 0.25
+    screen_block: int = 256
     backend: str = "numpy"
     precision: str = "float64"
 
@@ -232,6 +242,8 @@ class TycosConfig:
             )
         if not self.screen_margin >= 0:  # also rejects NaN
             raise ValueError(f"screen_margin must be >= 0, got {self.screen_margin}")
+        if self.screen_block < 1:
+            raise ValueError(f"screen_block must be >= 1, got {self.screen_block}")
         if self.delay_band is not None:
             lo, hi = self.delay_band
             if lo > hi:

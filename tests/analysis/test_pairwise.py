@@ -85,6 +85,23 @@ class TestScanPairs:
 
 
 class TestPrefilter:
+    def test_emits_deprecation_warning(self, rng):
+        x = rng.normal(size=300)
+        y = rng.normal(size=300)
+        with pytest.warns(DeprecationWarning, match="coarse_nmi_score"):
+            prefilter_score(x, y)
+
+    def test_internal_prefiltering_does_not_warn(self, rng, recwarn):
+        # scan_pairs' own pre-filtering calls coarse_nmi_score directly;
+        # only the deprecated public alias warns.
+        series = {"a": rng.normal(size=200), "b": rng.normal(size=200)}
+        config = TycosConfig(
+            sigma=0.5, s_min=24, s_max=48, td_max=2, jitter=1e-6, seed=1,
+            significance_permutations=0,
+        )
+        scan_pairs(series, config, prefilter_threshold=0.9)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
     def test_related_scores_higher(self, rng):
         x = rng.uniform(0, 1, 400)
         related = x + 0.05 * rng.normal(size=400)

@@ -110,6 +110,7 @@ FAST_PATH_GATES: Dict[str, str] = {
     "repro.mi.backends.numpy_backend": "interpreted canonical kernels and legacy selection",
     "repro.baselines.pearson": "the per-delay sliding_pcc loop",
     "repro.analysis.cascade": "the unscreened scan_pairs reference",
+    "repro.analysis.screen_state": "the per-pair fft_screen_score reference",
 }
 
 #: Callables whose invocation marks "a pool has been spawned" for TY103.
@@ -136,7 +137,10 @@ BACKEND_MODULES: FrozenSet[str] = frozenset(
 #: ``repro.analysis.store.SeriesStore``.
 STORE_MODULES: FrozenSet[str] = frozenset({"repro.analysis.store"})
 
-#: File names of the on-disk series store (format contract).  Spelling
-#: one of these outside ``STORE_MODULES`` means a second module is
-#: interpreting the store layout; route it through ``SeriesStore``.
-STORE_FILENAMES: FrozenSet[str] = frozenset({"manifest.json", "series.bin"})
+#: File names of the on-disk series store and its derived screen-state
+#: cache (format contract).  Spelling one of these outside
+#: ``STORE_MODULES`` means a second module is interpreting the store
+#: layout; route it through ``SeriesStore``.
+STORE_FILENAMES: FrozenSet[str] = frozenset(
+    {"manifest.json", "series.bin", "screen.json", "screen.bin"}
+)
