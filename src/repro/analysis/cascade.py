@@ -47,12 +47,12 @@ import logging
 import sys
 from itertools import combinations
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro._types import FloatArray
-from repro.analysis.pairwise import PairwiseReport, scan_pairs, timed
+from repro.analysis.pairwise import PairwiseReport, resolve_plan, scan_pairs, timed
 from repro.analysis.parallel import effective_workers, pooled_map, worker_state
 from repro.analysis.screen_state import (
     ScreenGeometry,
@@ -65,6 +65,9 @@ from repro.baselines.pearson import sliding_pcc_band
 from repro.core.config import TycosConfig
 from repro.core.tycos import Tycos
 from repro.mi.normalized import normalized_mi
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.analysis.planner import SearchPlan
 
 __all__ = [
     "coarse_nmi_score",
@@ -323,6 +326,7 @@ def cascade_scan(
     store_path: Optional[Union[str, Path]] = None,
     screen_block: Optional[int] = None,
     force_parallel: bool = False,
+    plan: Union["SearchPlan", str, None] = None,
 ) -> PairwiseReport:
     """Run the prescreen cascade over every pair of a collection.
 
@@ -375,6 +379,16 @@ def cascade_scan(
         force_parallel: run requested pools even on a 1-core host,
             where the default falls back to serial (see
             :func:`repro.analysis.parallel.effective_workers`).
+        plan: how stage 3 searches the survivors.  ``None`` (the
+            default) keeps the plain full-resolution search, preserving
+            byte-identity with PR-9 cascades.  A
+            :class:`~repro.analysis.planner.SearchPlan` or a plan
+            shorthand string (``"coarse=8"``) runs every survivor
+            through that plan; the string ``"auto"`` asks
+            :func:`repro.analysis.planner.auto_plan` to pick from the
+            *post-screen* workload shape -- the survivor count, not the
+            all-pairs count, which is the whole point of composing the
+            cascade with the planner.
 
     Returns:
         A :class:`~repro.analysis.pairwise.PairwiseReport` with the
@@ -430,6 +444,11 @@ def cascade_scan(
     decisions, screen_seconds = timed(_decide)
     survivors = [pair for pair, stage in decisions if stage == "search"]
 
+    # Resolved against the *survivor* count: an "auto" plan sees the
+    # workload stage 3 actually faces, not the all-pairs count.
+    series_len = series[pair_list[0][0]].size if pair_list else 0
+    stage3_plan = resolve_plan(plan, config, series_len, len(survivors), n_jobs)
+
     report, search_seconds = timed(
         lambda: scan_pairs(
             series,
@@ -439,6 +458,7 @@ def cascade_scan(
             engine=engine,
             n_jobs=n_jobs,
             store_path=None if store_path is None else str(store_path),
+            plan=stage3_plan,
         )
     )
     report.skipped.extend(pair for pair, stage in decisions if stage != "search")
@@ -522,6 +542,22 @@ def main(argv: Optional[List[str]] = None) -> int:
              "to the report",
     )
     parser.add_argument(
+        "--plan", default=None, metavar="SPEC",
+        help="execution plan of the stage-3 searches: 'plain', "
+             "'segments=K', 'coarse=F', a composition "
+             "('segments=K,coarse=F' runs coarse-to-fine inside each "
+             "segment), or 'auto' to pick from the post-screen workload "
+             "shape (default: the plain search, byte-identical to "
+             "pre-planner scans)",
+    )
+    parser.add_argument(
+        "--explain-plan", action="store_true",
+        help="print the chosen stage-3 plan (stages, parameters, "
+             "rationale) without running the scan; with --plan auto the "
+             "explanation is computed against the all-pairs count, since "
+             "the screen has not run",
+    )
+    parser.add_argument(
         "--store", default=None, metavar="DIR",
         help="pack a CSV input into a series store at DIR and scan from it "
              "(pool workers then memory-map the collection)",
@@ -577,6 +613,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             series = store.series()
             store_path = args.store
 
+    if args.explain_plan:
+        from repro.analysis.planner import explain_plan, plan_from_config
+
+        names = list(series)
+        n_pairs = len(names) * (len(names) - 1) // 2
+        series_len = series[names[0]].size if names else 0
+        chosen = resolve_plan(args.plan, config, series_len, n_pairs, args.n_jobs)
+        if chosen is None:
+            chosen = plan_from_config(config)
+        print(explain_plan(chosen, config))
+        return 0
+
     if args.screen:
         report = cascade_scan(
             series,
@@ -588,10 +636,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             screen_block=args.screen_block,
             n_jobs=args.n_jobs,
             store_path=store_path,
+            plan=args.plan,
         )
     else:
         report, search_seconds = timed(
-            lambda: scan_pairs(series, config, n_jobs=args.n_jobs, store_path=store_path)
+            lambda: scan_pairs(
+                series,
+                config,
+                n_jobs=args.n_jobs,
+                store_path=store_path,
+                plan=args.plan,
+            )
         )
         report.phase_seconds["search"] = search_seconds
 

@@ -9,6 +9,8 @@ a full pairwise scan from the command line::
     tycos-search plugs.csv --all-pairs --td-max 48 --s-max 240
     tycos-search long.csv --x a --y b --n-segments 4 --n-jobs 4
     tycos-search long.csv --x a --y b --coarse-factor 8 --profile
+    tycos-search long.csv --x a --y b --plan segments=4,coarse=8
+    tycos-search long.csv --x a --y b --plan auto --explain-plan
 
 Only the standard library's ``csv`` module is used -- no dataframe
 dependency.
@@ -101,25 +103,25 @@ def _build_config(args: argparse.Namespace) -> TycosConfig:
     )
 
 
-#: Display order of --profile phases: stage walls first (coarse pre-pass,
-#: full-resolution refinement), then the restart-loop breakdown, then the
-#: segment stitch.  ``coarse``/``refine`` are stage walls that *contain*
-#: seeding/scoring/lahc time of their stage, so the rows are a profile,
-#: not a partition.
-_PROFILE_ORDER = ["coarse", "refine", "seeding", "lahc", "scoring", "stitch"]
-
-
 def _print_profile(stats: SearchStats) -> None:
-    """Render the per-phase wall-time breakdown of one search."""
+    """Render the per-phase wall-time breakdown of one search.
+
+    Rows follow the canonical :class:`repro.analysis.planner.Phase`
+    order: stage walls first (coarse pre-pass, full-resolution
+    refinement), then the restart-loop breakdown, then the segment
+    stitch.  ``coarse``/``refine`` are stage walls that *contain*
+    seeding/scoring/lahc time of their stage, so the rows are a profile,
+    not a partition.
+    """
+    from repro.analysis.planner import ordered_phases
+
     phases = dict(stats.phase_seconds)
     if not phases:
         print("profile: no phase timings recorded")
         return
     total = stats.runtime_seconds or sum(phases.values())
     print(f"profile ({total:.2f}s wall):")
-    ordered = [p for p in _PROFILE_ORDER if p in phases]
-    ordered += sorted(p for p in phases if p not in _PROFILE_ORDER)
-    for phase in ordered:
+    for phase in ordered_phases(phases):
         seconds = phases[phase]
         share = 100.0 * seconds / total if total > 0 else 0.0
         print(f"  {phase:<8} {seconds:8.3f}s  {share:5.1f}%")
@@ -196,6 +198,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print a per-phase wall-time breakdown of the search "
              "(single-pair mode only)",
     )
+    parser.add_argument(
+        "--plan", default=None, metavar="SPEC",
+        help="execution plan: 'plain', 'segments=K', 'coarse=F', a "
+             "composition ('segments=K,coarse=F' runs coarse-to-fine "
+             "inside each segment; 'coarse=F,segments=K' shards the "
+             "coarse pre-pass), or 'auto' to pick from the workload "
+             "shape; overrides --n-segments/--coarse-factor",
+    )
+    parser.add_argument(
+        "--explain-plan", action="store_true",
+        help="print the chosen plan (stages, parameters, rationale) "
+             "without running the search",
+    )
     args = parser.parse_args(argv)
 
     if not args.all_pairs and not (args.x and args.y):
@@ -204,16 +219,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--profile needs single-pair mode (--x/--y)")
 
     config = _build_config(args)
+
+    if args.explain_plan:
+        from repro.analysis.pairwise import resolve_plan
+        from repro.analysis.planner import explain_plan, plan_from_config
+
+        if args.all_pairs:
+            series = read_csv_series(args.csv)
+            names = list(series)
+            n_pairs = len(names) * (len(names) - 1) // 2
+            series_len = series[names[0]].size if names else 0
+        else:
+            series = read_csv_series(args.csv, columns=[args.x, args.y])
+            n_pairs = 1
+            series_len = series[args.x].size
+        chosen = resolve_plan(args.plan, config, series_len, n_pairs, args.n_jobs)
+        if chosen is None:
+            chosen = plan_from_config(config)
+        print(explain_plan(chosen, config))
+        return 0
+
     if args.all_pairs:
         series = read_csv_series(args.csv)
         report = scan_pairs(
-            series, config, prefilter_threshold=args.prefilter, n_jobs=args.n_jobs
+            series,
+            config,
+            prefilter_threshold=args.prefilter,
+            n_jobs=args.n_jobs,
+            plan=args.plan,
         )
         print(report.to_text())
         return 0
 
     series = read_csv_series(args.csv, columns=[args.x, args.y])
-    result = Tycos(config).search(series[args.x], series[args.y], n_jobs=args.n_jobs)
+    if args.plan is not None:
+        from repro.analysis.pairwise import resolve_plan
+        from repro.analysis.planner import execute_plan
+
+        plan = resolve_plan(args.plan, config, series[args.x].size, 1, args.n_jobs)
+        result = execute_plan(
+            series[args.x], series[args.y], config, plan=plan, n_jobs=args.n_jobs
+        )
+    else:
+        result = Tycos(config).search(
+            series[args.x], series[args.y], n_jobs=args.n_jobs
+        )
     segmented = f" over {result.stats.segments} segments" if result.stats.segments else ""
     coarse = (
         f", {result.stats.coarse_windows_evaluated} coarse"

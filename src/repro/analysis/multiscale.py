@@ -2,7 +2,7 @@
 
 After the kernel work of PRs 2-4 the dominant cost of a search is *how
 many* full-resolution KSG estimates it makes, not how fast each one is.
-This module attacks that count with a two-stage search:
+The multiscale strategy attacks that count with a two-stage search:
 
 1. **Coarse pre-pass.**  The jittered pair is PAA-downsampled by
    ``coarse_factor`` (:mod:`repro.core.pyramid`) and the unchanged LAHC
@@ -38,132 +38,41 @@ across a pruned gap and the phase-preserving jump lands the refinement
 on *precisely* the scan positions the exhaustive search would reach --
 the two searches then execute identical restart sequences wherever it
 matters.  Exhaustive and multiscale results can therefore differ only
-if the exhaustive search *accepts a window from a restart seeded inside
-a pruned region*, i.e. only if the coarse level missed structure
-entirely (the recall trade ``coarse_factor`` / ``coarse_sigma_ratio``
-tune) -- never by windows shifting or scores drifting.  For the noise
-variants (``use_noise=True``) the Section-6 initial-window walk crosses
-pruned gaps with data-dependent strides, so the same guarantee is
-empirical rather than structural; the walk's block grid keeps the same
-phase invariant, which in practice keeps the restart sequences aligned.
-
-Determinism and composition mirror :mod:`repro.analysis.segmented`:
-jitter is applied once to the whole pair before the pyramid is built,
-so the coarse level and the refinement see the same samples; the coarse
-pre-pass composes with segmentation (``n_segments``) and the process
-pool (``n_jobs``), while the refinement is sequential *by design* --
-its restart phase chains through the timeline, which is exactly what
-makes it reproduce the exhaustive scan.  With the default margin (one
+when the coarse pass dismissed a region outright, and the relaxed
+coarse threshold exists to make that rare.  With the default margin (one
 maximal window footprint, ``s_max + td_max``) the tracked benchmark
 recovers 100% of the exhaustive search's findings at identical scores
 while evaluating a fraction of the windows (``BENCH_PR5.json``);
 ``coarse_factor=1`` bypasses both stages and reproduces plain
 ``Tycos.search`` byte-exactly.
+
+Since the planner refactor the machinery itself -- the coarse engine,
+the cell mapping, the phase-preserving scan hook -- lives in
+:mod:`repro.analysis.planner` as the executor of a
+:class:`~repro.analysis.planner.CoarsenStage`; this module is the
+compatibility entry point that builds the classic
+``Coarsen -> Scan -> Rescore`` plan (optionally with a segmented coarse
+pre-pass) and executes it, byte-identical to the pre-planner
+implementation (pinned by ``tests/analysis/test_planner.py``).  The
+planner also composes the stage the other way around -- a coarse-to-fine
+search *inside* each timeline segment
+(:func:`~repro.analysis.planner.composed_plan`).
 """
 
 from __future__ import annotations
 
-import time
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Optional
 
 from repro._types import AnyArray
-from repro.analysis.segmented import search_segmented
+
+# Re-exported for callers and tests that exercise the restricted-scan
+# hook directly; the implementation moved to the planner.
+from repro.analysis.planner import _cell_scan_hook  # noqa: F401
+from repro.analysis.planner import execute_plan, multiscale_plan
 from repro.core.config import TycosConfig
-from repro.core.pyramid import RefinementCell, build_level, coarse_config, refinement_cell
 from repro.core.tycos import Tycos, TycosResult
-from repro.core.window import PairView
 
 __all__ = ["search_multiscale"]
-
-
-def _refine_engine(engine: Tycos) -> Tycos:
-    """The full-resolution engine the restricted scan runs.
-
-    Jitter is already applied to the whole pair, and the refinement must
-    never recurse into segmentation or another coarse-to-fine pre-pass.
-    Everything else -- variant flags, overlap policy, delay band, the
-    significance gate -- is inherited unchanged, because the refinement
-    has to *be* the exhaustive search on the regions it visits.
-    """
-    return Tycos(
-        engine.config.scaled(
-            jitter=0.0, n_segments=1, coarse_factor=1, refine_margin=None
-        ),
-        use_noise=engine.use_noise,
-        use_incremental=engine.use_incremental,
-        overlap_policy=engine.overlap_policy,
-        batched_scoring=engine.batched_scoring,
-    )
-
-
-def _cell_scan_hook(
-    cells: Sequence[RefinementCell], s_min: int
-) -> Callable[[int], Optional[int]]:
-    """The restart filter of the restricted scan.
-
-    Maps each prospective scan position to the next allowed one: inside
-    a cell the position passes through untouched; in a pruned gap the
-    scan jumps forward in whole ``s_min`` strides -- the exact strides
-    the exhaustive search's failed restarts would take -- until it lands
-    in a cell again, so the restart phase (``scan_from mod s_min``) is
-    preserved across every gap.  ``None`` past the last cell ends the
-    scan.
-    """
-    ordered = sorted(cells, key=lambda c: (c.lo, c.hi))
-
-    def hook(scan_from: int) -> Optional[int]:
-        for cell in ordered:
-            if scan_from >= cell.hi:
-                continue
-            if scan_from >= cell.lo:
-                return scan_from
-            strides = -(-(cell.lo - scan_from) // s_min)
-            scan_from += strides * s_min
-            if scan_from < cell.hi:
-                return scan_from
-            # The phase-aligned entry overshot this (tiny) cell; keep the
-            # advanced position and try the next cell.
-        return None
-
-    return hook
-
-
-def _merge_cells(cells: Sequence[RefinementCell]) -> List[RefinementCell]:
-    """Coalesce cells with overlapping (or touching) regions.
-
-    Merging unions both the region and the delay band, so a merged cell
-    still contains everything its parts contained; it exists to stop two
-    near-identical coarse hits from keeping the scan in the same stretch
-    of timeline twice.
-    """
-    ordered = sorted(cells, key=lambda c: (c.lo, c.hi, c.delay_lo, c.delay_hi))
-    merged: List[RefinementCell] = []
-    for cell in ordered:
-        if merged and cell.lo <= merged[-1].hi:
-            merged[-1] = merged[-1].merge(cell)
-        else:
-            merged.append(cell)
-    return merged
-
-
-def _pruning_accounts(
-    merged: Sequence[RefinementCell], n: int, config: TycosConfig
-) -> Tuple[int, int]:
-    """(refined, pruned) counts over maximal-footprint timeline tiles.
-
-    The timeline is measured in tiles of ``s_max + td_max`` samples (one
-    maximal window footprint).  A tile intersecting no refinement cell
-    was pruned: the exhaustive search would have scanned it, the
-    multiscale search never touches it at full resolution.
-    """
-    tile = max(1, config.s_max + config.td_max)
-    total = max(1, -(-n // tile))
-    covered = set()
-    for cell in merged:
-        first = cell.lo // tile
-        last = min(total - 1, (max(cell.lo, cell.hi - 1)) // tile)
-        covered.update(range(first, last + 1))
-    return len(merged), total - len(covered)
 
 
 def search_multiscale(
@@ -182,8 +91,8 @@ def search_multiscale(
     """Search one pair coarse-to-fine: locate on a PAA level, refine exactly.
 
     The public entry point is ``Tycos.search(..., coarse_factor=N)``,
-    which delegates here; call this directly to reach the transport knob
-    or to drive a preconfigured engine.
+    which builds the same plan; call this directly to reach the transport
+    knobs or to drive a preconfigured engine.
 
     Args:
         x: first time series.
@@ -206,7 +115,7 @@ def search_multiscale(
             margins prune harder and weaken that guarantee.
         n_segments: shard the *coarse* pre-pass into this many
             overlapping segments (default: ``config.n_segments``),
-            composing the pre-pass with :mod:`repro.analysis.segmented`.
+            composing the pre-pass with the segment stage.
         n_jobs: worker processes for the coarse segments (``-1``: all
             cores).  The refinement stage is sequential by design: its
             restart phase chains through the timeline, which is what
@@ -255,62 +164,12 @@ def search_multiscale(
         )
         return flat.search(x, y, n_segments=segments, n_jobs=n_jobs)
 
-    started = time.perf_counter()
-    pair = PairView(x, y, jitter=cfg.jitter, seed=cfg.seed)
-    n = pair.n
-    c_cfg = coarse_config(cfg, factor)
-    level = build_level(pair, factor)
-    refine_engine = _refine_engine(engine)
-    if level.n < 2 * c_cfg.s_min:
-        # A coarse level that cannot even fit two minimal windows cannot
-        # locate anything: nothing to prune, search exhaustively.
-        result = refine_engine.search(pair.x, pair.y)
-        result.stats.runtime_seconds = time.perf_counter() - started
-        return result
-
-    c_engine = Tycos(
-        c_cfg,
-        use_noise=engine.use_noise,
-        use_incremental=engine.use_incremental,
-        overlap_policy=engine.overlap_policy,
-        batched_scoring=engine.batched_scoring,
+    return execute_plan(
+        x,
+        y,
+        engine=engine,
+        plan=multiscale_plan(factor, refine_margin=refine_margin, n_segments=segments),
+        n_jobs=n_jobs,
+        use_shared_memory=use_shared_memory,
+        force_parallel=force_parallel,
     )
-    coarse_started = time.perf_counter()
-    if segments > 1:
-        coarse = search_segmented(
-            level.x,
-            level.y,
-            engine=c_engine,
-            n_segments=segments,
-            n_jobs=n_jobs,
-            use_shared_memory=use_shared_memory,
-            force_parallel=force_parallel,
-        )
-    else:
-        coarse = c_engine.search(level.x, level.y)
-    coarse_seconds = time.perf_counter() - coarse_started
-
-    cells = [
-        refinement_cell(r.window, factor, n, cfg.td_max, margin)
-        for r in coarse.windows
-    ]
-    merged = _merge_cells(cells)
-
-    refine_started = time.perf_counter()
-    refined = refine_engine._search_whole(
-        pair.x, pair.y, scan_hook=_cell_scan_hook(merged, cfg.s_min)
-    )
-    refine_seconds = time.perf_counter() - refine_started
-
-    # The refinement's stats already describe all full-resolution work
-    # (its scorer saw every probe); layer the coarse ledger on top.
-    stats = refined.stats
-    stats.segments = coarse.stats.segments
-    stats.serial_fallback = coarse.stats.serial_fallback
-    stats.coarse_windows_evaluated = coarse.stats.windows_evaluated
-    stats.windows_evaluated += coarse.stats.windows_evaluated
-    stats.refined_cells, stats.cells_pruned = _pruning_accounts(merged, n, cfg)
-    stats.add_phase("coarse", coarse_seconds)
-    stats.add_phase("refine", refine_seconds)
-    stats.runtime_seconds = time.perf_counter() - started
-    return TycosResult(windows=refined.windows, stats=stats)

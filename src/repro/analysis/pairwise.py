@@ -19,7 +19,17 @@ import time
 import warnings
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro._types import FloatArray
 from repro.core.config import TycosConfig
@@ -27,11 +37,17 @@ from repro.core.tycos import Tycos, TycosResult
 from repro.experiments.reporting import format_table, title
 from repro.mi.backends.dispatch import backend_metadata
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner imports
+    # the parallel module, which imports this one, so the runtime imports
+    # of planner names below are deferred into the functions that use them)
+    from repro.analysis.planner import ExecutionContext, SearchPlan
+
 __all__ = [
     "PairFinding",
     "PairFailure",
     "PairwiseReport",
     "scan_pairs",
+    "resolve_plan",
     "prefilter_score",
     "timed",
 ]
@@ -171,9 +187,11 @@ class PairwiseReport:
         notes = "".join(f"\n(note: {note})" for note in self.notes)
         timings = ""
         if include_timings and self.phase_seconds:
+            from repro.analysis.planner import ordered_phases
+
             timings = "".join(
-                f"\n(phase {phase}: {seconds:.3f}s)"
-                for phase, seconds in self.phase_seconds.items()
+                f"\n(phase {phase}: {self.phase_seconds[phase]:.3f}s)"
+                for phase in ordered_phases(self.phase_seconds)
             )
         return (
             title("Pairwise correlation scan")
@@ -233,11 +251,18 @@ def _evaluate_pair(
     config: TycosConfig,
     engine: Tycos,
     prefilter_threshold: float,
+    plan: Optional["SearchPlan"] = None,
+    context: Optional["ExecutionContext"] = None,
 ) -> Tuple[str, Optional[PairFinding]]:
     """Score one pair: pre-filter, then search.
 
     Shared by the serial loop and the parallel workers so both paths apply
-    the identical decision procedure.
+    the identical decision procedure.  Without a ``plan`` the pair runs
+    ``engine.search`` (the legacy argument-surface dispatch); with one,
+    the plan executes through
+    :func:`repro.analysis.planner.execute_plan`, reusing the scan-wide
+    ``context`` so pair-independent setup (the parsed plan, the derived
+    engines) is paid once per scan rather than once per pair.
 
     Returns:
         ``("skipped", None)`` when the pre-filter rejects the pair, else
@@ -248,7 +273,14 @@ def _evaluate_pair(
 
         if coarse_nmi_score(x, y, td_max=config.td_max) < prefilter_threshold:
             return ("skipped", None)
-    result: TycosResult = engine.search(x, y)
+    if plan is not None:
+        from repro.analysis.planner import execute_plan
+
+        result: TycosResult = execute_plan(
+            x, y, engine=engine, plan=plan, context=context
+        )
+    else:
+        result = engine.search(x, y)
     best = max((r.nmi for r in result.windows), default=0.0)
     return (
         "finding",
@@ -262,6 +294,36 @@ def _evaluate_pair(
     )
 
 
+def resolve_plan(
+    plan: Union["SearchPlan", str, None],
+    config: TycosConfig,
+    series_len: int,
+    n_pairs: int,
+    n_jobs: Optional[int],
+) -> Optional["SearchPlan"]:
+    """Resolve a ``plan=`` argument to a concrete plan (or ``None``).
+
+    ``None`` passes through (the legacy ``engine.search`` dispatch); the
+    string ``"auto"`` asks :func:`repro.analysis.planner.auto_plan` to
+    pick from the workload shape; any other string is parsed as the CLI
+    plan shorthand (:func:`repro.analysis.planner.parse_plan_spec`); a
+    :class:`~repro.analysis.planner.SearchPlan` is validated and used
+    as-is.
+    """
+    if plan is None:
+        return None
+    from repro.analysis.planner import SearchPlan, auto_plan, parse_plan_spec
+
+    if isinstance(plan, SearchPlan):
+        return plan.validate()
+    if plan.strip().lower() == "auto":
+        from repro.analysis.parallel import resolve_n_jobs
+
+        cores = 1 if n_jobs is None or n_jobs == 1 else resolve_n_jobs(n_jobs)
+        return auto_plan(series_len, n_pairs, cores, config)
+    return parse_plan_spec(plan, config)
+
+
 def scan_pairs(
     series: Dict[str, FloatArray],
     config: TycosConfig,
@@ -270,6 +332,7 @@ def scan_pairs(
     engine: Optional[Tycos] = None,
     n_jobs: Optional[int] = None,
     store_path: Optional[str] = None,
+    plan: Union["SearchPlan", str, None] = None,
 ) -> PairwiseReport:
     """Run TYCOS over every pair of a series collection.
 
@@ -295,6 +358,16 @@ def scan_pairs(
             workers then memory-map the store instead of receiving a
             shared-memory copy.  Ignored by the serial path (the views
             are already zero-copy there).
+        plan: how each pair is searched.  ``None`` (the default) runs the
+            legacy ``engine.search`` dispatch and leaves the report
+            byte-identical to pre-planner scans.  A
+            :class:`~repro.analysis.planner.SearchPlan` runs every pair
+            through :func:`repro.analysis.planner.execute_plan`; the
+            string ``"auto"`` picks a plan from the workload shape
+            (:func:`repro.analysis.planner.auto_plan`) and any other
+            string is the CLI plan shorthand (e.g. ``"coarse=8"``).
+            When a plan runs, its spec and fingerprint land in
+            ``report.metadata`` (``plan`` / ``plan_fingerprint``).
 
     Returns:
         A :class:`PairwiseReport` with one finding per scanned pair.  A
@@ -311,6 +384,8 @@ def scan_pairs(
     for source, target in pair_list:
         if source not in series or target not in series:
             raise KeyError(f"unknown series in pair ({source!r}, {target!r})")
+    series_len = next(iter(lengths)) if lengths else 0
+    resolved = resolve_plan(plan, config, series_len, len(pair_list), n_jobs)
 
     if n_jobs is not None and n_jobs != 1:
         from repro.analysis.parallel import scan_pairs_parallel
@@ -323,9 +398,17 @@ def scan_pairs(
             engine=engine,
             n_jobs=n_jobs,
             store_path=store_path,
+            plan=resolved,
         )
 
     report = PairwiseReport(metadata=backend_metadata(config.backend, config.precision))
+    context: Optional["ExecutionContext"] = None
+    if resolved is not None:
+        from repro.analysis.planner import ExecutionContext
+
+        context = ExecutionContext()
+        report.metadata["plan"] = resolved.spec()
+        report.metadata["plan_fingerprint"] = resolved.fingerprint()
     for source, target in pair_list:
         try:
             tag, finding = _evaluate_pair(
@@ -336,6 +419,8 @@ def scan_pairs(
                 config,
                 engine,
                 prefilter_threshold,
+                plan=resolved,
+                context=context,
             )
         except Exception as exc:  # noqa: BLE001 - containment is the point
             report.failures.append(

@@ -33,7 +33,17 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -43,6 +53,10 @@ from repro.analysis.store import SeriesStore
 from repro.core.config import TycosConfig
 from repro.core.tycos import Tycos
 from repro.mi.backends.dispatch import backend_metadata
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard: the planner imports
+    # this module for its pool transport, so plan types are annotation-only
+    from repro.analysis.planner import SearchPlan
 
 __all__ = [
     "scan_pairs_parallel",
@@ -309,6 +323,16 @@ def _scan_chunk(chunk: Sequence[Tuple[int, str, str]]) -> _ChunkResult:
     series: Dict[str, FloatArray] = state["series"]
     engine: Tycos = state["engine"]
     threshold: float = state["prefilter_threshold"]
+    plan = state.get("plan")
+    context = state.get("plan_context")
+    if plan is not None and context is None:
+        # One ExecutionContext per worker process, built on first use and
+        # kept in the worker-state registry so every chunk this worker
+        # scans reuses the parsed plan and its derived engines.
+        from repro.analysis.planner import ExecutionContext
+
+        context = ExecutionContext()
+        state["plan_context"] = context
     results: _ChunkResult = []
     for index, source, target in chunk:
         try:
@@ -320,6 +344,8 @@ def _scan_chunk(chunk: Sequence[Tuple[int, str, str]]) -> _ChunkResult:
                 engine.config,
                 engine,
                 threshold,
+                plan=plan,
+                context=context,
             )
         except Exception as exc:  # noqa: BLE001 - containment is the point
             failure = PairFailure(
@@ -345,6 +371,7 @@ def scan_pairs_parallel(
     use_shared_memory: bool = True,
     force_parallel: bool = False,
     store_path: Optional[Union[str, Path]] = None,
+    plan: Optional["SearchPlan"] = None,
 ) -> PairwiseReport:
     """Fan a pairwise scan over a process pool.
 
@@ -372,6 +399,13 @@ def scan_pairs_parallel(
             store the collection lives in, when it has one; workers then
             attach read-only memory maps instead of receiving a copy
             (``series`` should be the same store's views).
+        plan: optional :class:`~repro.analysis.planner.SearchPlan` every
+            pair executes instead of the legacy ``engine.search``
+            dispatch.  The plan ships to the workers once, at pool
+            start; each worker builds one
+            :class:`~repro.analysis.planner.ExecutionContext` and reuses
+            it across its chunks.  Results are bit-identical to the
+            serial planned scan.
 
     Returns:
         A :class:`PairwiseReport` identical to the serial scan's: findings,
@@ -408,6 +442,7 @@ def scan_pairs_parallel(
             pairs=pair_list,
             prefilter_threshold=prefilter_threshold,
             engine=engine,
+            plan=plan,
         )
         if fell_back:
             report.notes.append(
@@ -422,12 +457,18 @@ def scan_pairs_parallel(
     chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
 
     slots: List[Optional[Tuple[str, Any]]] = [None] * len(tasks)
+    extra_state: Dict[str, Any] = {
+        "engine": engine,
+        "prefilter_threshold": prefilter_threshold,
+    }
+    if plan is not None:
+        extra_state["plan"] = plan
     for chunk_result in pooled_map(
         _scan_chunk,
         chunks,
         workers=workers,
         series=series,
-        extra_state={"engine": engine, "prefilter_threshold": prefilter_threshold},
+        extra_state=extra_state,
         use_shared_memory=use_shared_memory,
         store_path=store_path,
     ):
@@ -435,6 +476,9 @@ def scan_pairs_parallel(
             slots[index] = (tag, payload)
 
     report = PairwiseReport(metadata=backend_metadata(config.backend, config.precision))
+    if plan is not None:
+        report.metadata["plan"] = plan.spec()
+        report.metadata["plan_fingerprint"] = plan.fingerprint()
     for slot in slots:
         if slot is None:  # pragma: no cover - map() either fills all or raises
             raise RuntimeError("parallel scan lost a pair result")

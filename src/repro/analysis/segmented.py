@@ -2,8 +2,8 @@
 
 :mod:`repro.analysis.parallel` scales a *collection* scan by giving each
 worker whole pairs, but a single long pair still runs one sequential
-restart loop.  This module shards the pair itself: ``[0, n)`` is covered
-by ``n_segments`` spans overlapping by
+restart loop.  The segmented strategy shards the pair itself: ``[0, n)``
+is covered by ``n_segments`` spans overlapping by
 :meth:`~repro.core.config.TycosConfig.segment_overlap` samples, an
 independent TYCOS restart loop runs per span, and the per-span results
 are stitched deterministically.  The overlap makes every feasible
@@ -33,176 +33,27 @@ its own start -- so ``n_segments=k`` results may legitimately differ from
 ``n_segments=1`` results; what never changes is the parallel/sequential
 equivalence at a fixed segment count, and ``n_segments=1`` reproduces the
 classic whole-series search exactly.
+
+Since the planner refactor the machinery itself -- span engines, the
+pool fan-out, the stitcher -- lives in :mod:`repro.analysis.planner` as
+the executor of a :class:`~repro.analysis.planner.SegmentStage`; this
+module is the compatibility entry point that builds the classic
+``Segment -> Scan -> Stitch`` plan and executes it, byte-identical to
+the pre-planner implementation (pinned by
+``tests/analysis/test_planner.py``).  The planner also composes the
+stage in ways this surface cannot spell, e.g. a coarse-to-fine search
+*inside* each span (:func:`~repro.analysis.planner.composed_plan`).
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
 
-from repro._types import AnyArray, FloatArray, WindowKey
-from repro.analysis.parallel import effective_workers, pooled_map, worker_state
+from repro._types import AnyArray
 from repro.core.config import TycosConfig
-from repro.core.results import ResultSet, WindowResult
-from repro.core.segmentation import Span, overlap_zones, segment_spans
-from repro.core.thresholds import BatchScorer
-from repro.core.tycos import SearchStats, Tycos, TycosResult
-from repro.core.window import PairView, TimeDelayWindow
+from repro.core.tycos import Tycos, TycosResult
 
 __all__ = ["search_segmented"]
-
-#: One worker task: (submission index, span lo, span hi).
-_Task = Tuple[int, int, int]
-
-
-def _segment_engine(engine: Tycos) -> Tycos:
-    """The engine each span runs: same variant, jitter off, unsegmented.
-
-    Jitter is already applied to the whole pair before slicing (so spans
-    share bit-identical samples), and a span search must never recurse
-    into segmentation or a coarse-to-fine pre-pass.
-    """
-    return Tycos(
-        engine.config.scaled(jitter=0.0, n_segments=1, coarse_factor=1),
-        use_noise=engine.use_noise,
-        use_incremental=engine.use_incremental,
-        overlap_policy=engine.overlap_policy,
-        batched_scoring=engine.batched_scoring,
-    )
-
-
-def _search_span(
-    engine: Tycos, x: FloatArray, y: FloatArray, lo: int, hi: int
-) -> TycosResult:
-    """Run one span's restart loop on the jittered slice ``[lo, hi)``."""
-    return engine.search(x[lo:hi], y[lo:hi])
-
-
-def _scan_span_task(task: _Task) -> Tuple[int, TycosResult]:
-    """Worker task: search one span, return its index-tagged result.
-
-    The jittered pair and the span engine arrive through the
-    :func:`repro.analysis.parallel.pooled_map` transport; this module
-    owns no pool or shared-memory lifecycle of its own (tycoslint
-    TY101/TY102).
-    """
-    index, lo, hi = task
-    state = worker_state()
-    series: Dict[str, FloatArray] = state["series"]
-    result = _search_span(state["engine"], series["x"], series["y"], lo, hi)
-    return index, result
-
-
-def _run_segments_parallel(
-    seg_engine: Tycos,
-    pair: PairView,
-    spans: Sequence[Span],
-    workers: int,
-    use_shared_memory: bool,
-) -> List[TycosResult]:
-    """Fan the spans over a process pool; results return in span order."""
-    tasks: List[_Task] = [(i, lo, hi) for i, (lo, hi) in enumerate(spans)]
-    slots: List[Optional[TycosResult]] = [None] * len(tasks)
-    for index, result in pooled_map(
-        _scan_span_task,
-        tasks,
-        workers=workers,
-        series={"x": pair.x, "y": pair.y},
-        extra_state={"engine": seg_engine},
-        use_shared_memory=use_shared_memory,
-    ):
-        slots[index] = result
-    out: List[TycosResult] = []
-    for slot in slots:
-        if slot is None:  # pragma: no cover - map() either fills all or raises
-            raise RuntimeError("segmented scan lost a span result")
-        out.append(slot)
-    return out
-
-
-def _stitch(
-    engine: Tycos,
-    pair: PairView,
-    spans: Sequence[Span],
-    per_segment: Sequence[TycosResult],
-    started: float,
-) -> TycosResult:
-    """Merge per-span results into one deterministic global result.
-
-    Windows are translated to global coordinates in span order; exact
-    duplicates (the same window found by two spans sharing an overlap
-    zone) are dropped first-span-wins.  Windows whose X interval touches
-    an overlap zone -- the only ones that can duplicate or conflict
-    across spans, since two spans share no other samples -- are rescored
-    on the whole series by one shared scorer, so their reported scores
-    and their conflict-resolution values are independent of which span
-    found them; the survivors enter the result set in fixed
-    ``(score, start, delay)`` priority through
-    :meth:`~repro.core.results.ResultSet.insert_prioritized`.  Interior
-    windows cannot conflict cross-span (their X interval lies in exactly
-    one span, and within-span conflicts were already resolved), so they
-    are inserted as-is.
-    """
-    stitch_started = time.perf_counter()
-    stats = SearchStats(segments=len(spans))
-    for seg in per_segment:
-        s = seg.stats
-        stats.windows_evaluated += s.windows_evaluated
-        stats.cache_hits += s.cache_hits
-        stats.restarts += s.restarts
-        stats.lahc_iterations += s.lahc_iterations
-        stats.accepted_moves += s.accepted_moves
-        stats.noise_prunes += s.noise_prunes
-        stats.mi_full_searches += s.mi_full_searches
-        stats.mi_incremental_updates += s.mi_incremental_updates
-        stats.workspace_builds += s.workspace_builds
-        stats.workspace_hits += s.workspace_hits
-        stats.full_windows_evaluated += s.full_windows_evaluated
-        for phase, seconds in s.phase_seconds.items():
-            stats.add_phase(phase, seconds)
-
-    candidates: Dict[WindowKey, WindowResult] = {}
-    for (lo, _hi), seg in zip(spans, per_segment):
-        for r in seg.windows:
-            w = r.window
-            global_window = TimeDelayWindow(
-                start=w.start + lo, end=w.end + lo, delay=w.delay
-            )
-            key = global_window.key()
-            if key in candidates:
-                stats.stitch_dedups += 1
-                continue
-            candidates[key] = WindowResult(window=global_window, mi=r.mi, nmi=r.nmi)
-
-    zones = overlap_zones(list(spans))
-
-    def touches_zone(w: TimeDelayWindow) -> bool:
-        return any(w.start < z_hi and w.end >= z_lo for z_lo, z_hi in zones)
-
-    accepted = ResultSet(policy=engine.overlap_policy)
-    boundary: List[WindowResult] = []
-    for r in candidates.values():
-        if touches_zone(r.window):
-            boundary.append(r)
-        else:
-            accepted.insert(r)
-    if boundary:
-        rescorer = BatchScorer(pair, engine.config)
-        scored: List[Tuple[WindowResult, float]] = []
-        for r in boundary:
-            score = rescorer.score(r.window)
-            value = score.ratio if engine.config.use_normalized else score.mi
-            stats.stitch_rescores += 1
-            scored.append(
-                (WindowResult(window=r.window, mi=score.mi, nmi=score.nmi), value)
-            )
-        stats.windows_evaluated += rescorer.evaluations
-        stats.full_windows_evaluated += rescorer.evaluations
-        accepted.insert_prioritized(scored)
-
-    stats.add_phase("stitch", time.perf_counter() - stitch_started)
-    stats.runtime_seconds = time.perf_counter() - started
-    return TycosResult(windows=accepted.results(), stats=stats)
 
 
 def search_segmented(
@@ -219,8 +70,8 @@ def search_segmented(
     """Search one pair with its timeline sharded into parallel segments.
 
     The public entry point is ``Tycos.search(..., n_segments=, n_jobs=)``,
-    which delegates here; call this directly to reach the transport knob
-    or to drive a preconfigured engine.
+    which builds the same plan; call this directly to reach the transport
+    knobs or to drive a preconfigured engine.
 
     Args:
         x: first time series.
@@ -252,29 +103,21 @@ def search_segmented(
     Raises:
         ValueError: when neither ``config`` nor ``engine`` is given.
     """
+    from repro.analysis.planner import execute_plan, segmented_plan
+
     if engine is None:
         if config is None:
             raise ValueError("search_segmented needs a config or an engine")
         engine = Tycos(config)
-    cfg = engine.config
-    segments = cfg.n_segments if n_segments is None else n_segments
+    segments = engine.config.n_segments if n_segments is None else n_segments
     if segments < 1:
         raise ValueError(f"n_segments must be >= 1, got {segments}")
-    started = time.perf_counter()
-    pair = PairView(x, y, jitter=cfg.jitter, seed=cfg.seed)
-    spans = segment_spans(pair.n, segments, cfg.segment_overlap())
-    seg_engine = _segment_engine(engine)
-    workers, fell_back = effective_workers(
-        n_jobs, len(spans), force_parallel=force_parallel, what="search_segmented"
+    return execute_plan(
+        x,
+        y,
+        engine=engine,
+        plan=segmented_plan(segments),
+        n_jobs=n_jobs,
+        use_shared_memory=use_shared_memory,
+        force_parallel=force_parallel,
     )
-    if workers <= 1:
-        per_segment = [
-            _search_span(seg_engine, pair.x, pair.y, lo, hi) for lo, hi in spans
-        ]
-    else:
-        per_segment = _run_segments_parallel(
-            seg_engine, pair, spans, workers, use_shared_memory
-        )
-    result = _stitch(engine, pair, spans, per_segment, started)
-    result.stats.serial_fallback = fell_back
-    return result

@@ -89,9 +89,17 @@ class SearchStats:
         serial_fallback: True when a parallel request (``n_jobs > 1``)
             was served serially because the host has a single CPU and
             pool dispatch would only add overhead.
-        phase_seconds: wall-clock seconds per search phase (``seeding`` /
+        phase_seconds: wall-clock seconds per search phase, keyed by the
+            canonical phase names of
+            :class:`repro.analysis.planner.Phase` (``seeding`` /
             ``lahc`` / ``scoring`` / ``stitch`` / ``coarse`` /
-            ``refine``), for ``tycos-search --profile``.
+            ``refine``), for ``tycos-search --profile``.  This module
+            spells the names as literals because core must not import
+            the analysis layer; the planner tests pin the spellings.
+        plan: compact spec of the executed
+            :class:`~repro.analysis.planner.SearchPlan` (e.g.
+            ``"segments=4,coarse=8"``), recorded by the plan executor;
+            empty for a direct ``_search_whole`` call.
         runtime_seconds: wall-clock time of the search.
     """
 
@@ -114,6 +122,7 @@ class SearchStats:
     full_windows_evaluated: int = 0
     serial_fallback: bool = False
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    plan: str = ""
     runtime_seconds: float = 0.0
 
     def add_phase(self, name: str, seconds: float) -> None:
@@ -224,32 +233,30 @@ class Tycos:
         Returns:
             A :class:`TycosResult` whose windows all score at least
             ``config.sigma`` and respect the overlap policy.
+
+        .. note::
+            Since the planner refactor this method is a thin wrapper: it
+            translates its legacy argument surface into a
+            :class:`~repro.analysis.planner.SearchPlan` (via
+            :func:`~repro.analysis.planner.plan_from_config`, which
+            reproduces the historical dispatch precedence exactly) and
+            hands execution to
+            :func:`~repro.analysis.planner.execute_plan`.  Outputs are
+            byte-identical to the pre-planner dispatch; pass a plan to
+            ``execute_plan`` directly to reach the composed strategies
+            this surface cannot spell.
         """
-        segments = self.config.n_segments if n_segments is None else n_segments
-        if segments < 1:
-            raise ValueError(f"n_segments must be >= 1, got {segments}")
-        factor = self.config.coarse_factor if coarse_factor is None else coarse_factor
-        if factor < 1:
-            raise ValueError(f"coarse_factor must be >= 1, got {factor}")
-        if factor > 1:
-            from repro.analysis.multiscale import search_multiscale
+        # Imported lazily: core stays importable without the analysis
+        # layer, exactly as the pre-planner strategy dispatch did.
+        from repro.analysis.planner import execute_plan, plan_from_config
 
-            return search_multiscale(
-                x,
-                y,
-                engine=self,
-                coarse_factor=factor,
-                refine_margin=refine_margin,
-                n_segments=segments,
-                n_jobs=n_jobs,
-            )
-        if segments > 1:
-            from repro.analysis.segmented import search_segmented
-
-            return search_segmented(
-                x, y, engine=self, n_segments=segments, n_jobs=n_jobs
-            )
-        return self._search_whole(x, y, scan_hook=None)
+        plan = plan_from_config(
+            self.config,
+            n_segments=n_segments,
+            coarse_factor=coarse_factor,
+            refine_margin=refine_margin,
+        )
+        return execute_plan(x, y, engine=self, plan=plan, n_jobs=n_jobs)
 
     def _search_whole(
         self,

@@ -35,6 +35,16 @@ Registering a module is a claim with obligations:
   leak and the store manifest is a format contract, so both get a single
   audited owner; everything else attaches through
   ``repro.analysis.store.SeriesStore``.
+* ``PLANNER_MODULES`` -- the modules allowed to construct
+  :class:`~repro.analysis.planner.SearchPlan` stages directly (TY117).
+  A plan is a validated composition contract -- the grammar, the
+  byte-identity guarantees, and the provenance fingerprint all live in
+  one place -- so everything else obtains plans through the planner's
+  builder functions (``plain_plan`` / ``segmented_plan`` /
+  ``multiscale_plan`` / ``composed_plan`` / ``plan_from_config`` /
+  ``parse_plan_spec`` / ``auto_plan``).  Ad-hoc stage construction
+  outside the planner is exactly the side-channel orchestration the
+  planner refactor retired.
 """
 
 from __future__ import annotations
@@ -50,6 +60,8 @@ __all__ = [
     "BACKEND_MODULES",
     "STORE_MODULES",
     "STORE_FILENAMES",
+    "PLANNER_MODULES",
+    "PLAN_CONSTRUCTORS",
 ]
 
 #: Modules allowed to own (and mutate) process-wide mutable state.
@@ -111,6 +123,7 @@ FAST_PATH_GATES: Dict[str, str] = {
     "repro.baselines.pearson": "the per-delay sliding_pcc loop",
     "repro.analysis.cascade": "the unscreened scan_pairs reference",
     "repro.analysis.screen_state": "the per-pair fft_screen_score reference",
+    "repro.analysis.planner": "the pre-planner single-strategy entry points",
 }
 
 #: Callables whose invocation marks "a pool has been spawned" for TY103.
@@ -143,4 +156,25 @@ STORE_MODULES: FrozenSet[str] = frozenset({"repro.analysis.store"})
 #: layout; route it through ``SeriesStore``.
 STORE_FILENAMES: FrozenSet[str] = frozenset(
     {"manifest.json", "series.bin", "screen.json", "screen.bin"}
+)
+
+#: Modules allowed to construct search-plan stages directly (TY117).
+#: Everything else builds plans through the planner's builder functions,
+#: so strategy composition stays inside the one module whose grammar,
+#: determinism guarantees, and provenance fingerprints are audited.
+PLANNER_MODULES: FrozenSet[str] = frozenset({"repro.analysis.planner"})
+
+#: The plan/stage constructors TY117 confines to ``PLANNER_MODULES``.
+#: Calling one of these outside the planner is ad-hoc strategy dispatch;
+#: go through plain_plan / segmented_plan / multiscale_plan /
+#: composed_plan / plan_from_config / parse_plan_spec / auto_plan.
+PLAN_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {
+        "SearchPlan",
+        "CoarsenStage",
+        "SegmentStage",
+        "ScanStage",
+        "StitchStage",
+        "RescoreStage",
+    }
 )
